@@ -1,0 +1,79 @@
+"""Figure 5 — 3-strategy vs 1-strategy PVS under Immediate construction.
+
+Regenerates the per-query SRT comparison on the DBLP analog and times one
+IC session under each arm.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    column,
+    experiment_tables,
+    numeric,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.harness import scale_settings, session_for
+from repro.workload.generator import instantiate
+
+
+@pytest.fixture(scope="module")
+def fig5_table():
+    return experiment_tables("exp1")["Figure 5"]
+
+
+def test_fig5_three_strategy_beats_one_strategy(benchmark, fig5_table):
+    show(fig5_table)
+    three = numeric(column(fig5_table, "3-strategy SRT (ms)"))
+    one = numeric(column(fig5_table, "1-strategy SRT (ms)"))
+    if ASSERT_SHAPES:
+        # Paper: significantly smaller SRT for all queries.  Aggregate must
+        # favor 3-strategy clearly; most queries individually too.
+        assert sum(three) < sum(one)
+        wins = sum(1 for a, b in zip(three, one) if a <= b * 1.1)
+        assert wins >= len(three) - 1
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = instantiate("Q2", bundle.graph, dataset="dblp")
+    session = session_for(bundle)
+
+    def one_session():
+        return session.run(
+            instance, strategy="IC", max_results=settings.max_results
+        ).srt_seconds
+
+    benchmark.pedantic(one_session, rounds=1, iterations=1)
+
+
+def test_fig5_forced_arm_does_more_distance_queries(benchmark, bench_scale):
+    """The 1-strategy arm's cost driver: all-pairs PML work on cheap edges."""
+    bundle = get_dataset("dblp", bench_scale)
+    settings = scale_settings(bench_scale)
+    instance = instantiate("Q2", bundle.graph, dataset="dblp")
+    session = session_for(bundle)
+
+    normal = session.run(instance, strategy="IC", max_results=settings.max_results)
+    forced = session.run(
+        instance,
+        strategy="IC",
+        force_large_upper=True,
+        max_results=settings.max_results,
+    )
+    assert (
+        forced.run.counters["distance_queries"]
+        > normal.run.counters["distance_queries"]
+    )
+
+    benchmark.pedantic(
+        lambda: session.run(
+            instance,
+            strategy="IC",
+            force_large_upper=True,
+            max_results=settings.max_results,
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )

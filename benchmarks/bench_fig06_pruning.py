@@ -1,0 +1,64 @@
+"""Figure 6 — effect of pruning isolated vertices (SRT + CAP size)."""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    column,
+    experiment_tables,
+    numeric,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.harness import scale_settings, session_for
+from repro.workload.generator import instantiate
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    tables = experiment_tables("exp2")
+    return tables["Figure 6(a)"], tables["Figure 6(b)"]
+
+
+def test_fig6a_pruning_shrinks_srt(benchmark, fig6):
+    srt_table, _ = fig6
+    show(srt_table)
+    pruned = numeric(column(srt_table, "pruning SRT (ms)"))
+    unpruned = numeric(column(srt_table, "no-pruning SRT (ms)"))
+    if ASSERT_SHAPES:
+        assert sum(pruned) < sum(unpruned)
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = instantiate("Q5", bundle.graph, dataset="dblp")
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="IC", pruning=True, max_results=settings.max_results
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig6b_pruning_shrinks_cap_size(benchmark, fig6):
+    _, size_table = fig6
+    show(size_table)
+    pruned = numeric(column(size_table, "pruning size"))
+    unpruned = numeric(column(size_table, "no-pruning size"))
+    # Structural guarantee, not a timing artifact: holds at every scale.
+    assert all(p <= u for p, u in zip(pruned, unpruned))
+    assert sum(pruned) < sum(unpruned)
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = instantiate("Q5", bundle.graph, dataset="dblp")
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="IC", pruning=False, max_results=settings.max_results
+        ).cap_size,
+        rounds=1,
+        iterations=1,
+    )

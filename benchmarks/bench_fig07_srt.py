@@ -1,0 +1,130 @@
+"""Figure 7 — SRT of BU vs IC vs DR vs DI across the three datasets.
+
+The headline comparison of the paper.  Expected shape: BU at least an
+order of magnitude above IC on the WordNet/DBLP analogs (with DNFs on the
+hardest WordNet queries), IC well above DR/DI where expensive edges exist,
+and all four roughly level on the Flickr analog.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    experiment_tables,
+    numeric,
+    rows_where,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp3_strategies import exp3_instance
+from repro.experiments.harness import scale_settings, session_for
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return experiment_tables("exp3")["Figure 7"]
+
+
+def _cols(rows, table, header):
+    index = table.headers.index(header)
+    return [row[index] for row in rows]
+
+
+def test_fig7_bu_dominated_on_wordnet_and_dblp(benchmark, fig7):
+    show(fig7)
+    if ASSERT_SHAPES:
+        for dataset in ("wordnet", "dblp"):
+            rows = rows_where(fig7, dataset=dataset)
+            bu = _cols(rows, fig7, "BU (ms)")
+            di = numeric(_cols(rows, fig7, "DI (ms)"))
+            # Every BU run either DNFed or took >= 5x the DI SRT in aggregate.
+            bu_numeric = numeric(bu)
+            dnfs = sum(1 for cell in bu if cell == "DNF")
+            assert dnfs > 0 or sum(bu_numeric) > 5 * sum(di), dataset
+
+    bundle = get_dataset("wordnet", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("wordnet", "Q1", bundle.graph)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DI", max_results=settings.max_results
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig7_deferment_beats_ic_on_wordnet(benchmark, fig7):
+    if ASSERT_SHAPES:
+        rows = rows_where(fig7, dataset="wordnet")
+        ic = numeric(_cols(rows, fig7, "IC (ms)"))
+        dr = numeric(_cols(rows, fig7, "DR (ms)"))
+        di = numeric(_cols(rows, fig7, "DI (ms)"))
+        # Aggregate SRT: deferment clearly ahead where expensive edges live.
+        assert sum(dr) < sum(ic)
+        assert sum(di) < sum(ic)
+
+    bundle = get_dataset("wordnet", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("wordnet", "Q1", bundle.graph)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="IC", max_results=settings.max_results
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig7_flickr_strategies_equivalent(benchmark, fig7):
+    if ASSERT_SHAPES:
+        rows = rows_where(fig7, dataset="flickr")
+        ic = sum(numeric(_cols(rows, fig7, "IC (ms)")))
+        dr = sum(numeric(_cols(rows, fig7, "DR (ms)")))
+        di = sum(numeric(_cols(rows, fig7, "DI (ms)")))
+        # Nothing is expensive on the Flickr analog: all within ~3x.
+        smallest, largest = min(ic, dr, di), max(ic, dr, di)
+        assert largest <= 3 * smallest + 50  # +50ms absolute slack
+
+    bundle = get_dataset("flickr", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("flickr", "Q2", bundle.graph)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="IC", max_results=settings.max_results
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig7_all_strategies_same_answers(benchmark, fig7):
+    """|V_delta| in the table is strategy-independent by construction; verify
+    live on one query per dataset."""
+    settings = scale_settings(SCALE)
+    for dataset in ("wordnet", "dblp", "flickr"):
+        bundle = get_dataset(dataset, SCALE)
+        instance = exp3_instance(dataset, "Q1", bundle.graph)
+        session = session_for(bundle)
+        counts = {
+            s: session.run(
+                instance, strategy=s, max_results=settings.max_results
+            ).num_matches
+            for s in ("IC", "DR", "DI")
+        }
+        assert len(set(counts.values())) == 1, (dataset, counts)
+
+    bundle = get_dataset("dblp", SCALE)
+    instance = exp3_instance("dblp", "Q1", bundle.graph)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DR", max_results=settings.max_results
+        ).num_matches,
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,75 @@
+"""Figure 8 — average CAP construction time for IC / DR / DI."""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    experiment_tables,
+    numeric,
+    rows_where,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp3_strategies import exp3_instance
+from repro.experiments.harness import scale_settings, session_for
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return experiment_tables("exp3")["Figure 8"]
+
+
+def _cols(rows, table, header):
+    index = table.headers.index(header)
+    return [row[index] for row in rows]
+
+
+def test_fig8_deferment_shrinks_cap_time_on_wordnet(benchmark, fig8):
+    show(fig8)
+    if ASSERT_SHAPES:
+        rows = rows_where(fig8, dataset="wordnet")
+        ic = sum(numeric(_cols(rows, fig8, "IC (ms)")))
+        dr = sum(numeric(_cols(rows, fig8, "DR (ms)")))
+        di = sum(numeric(_cols(rows, fig8, "DI (ms)")))
+        # Deferred expensive edges are processed on pruned sets: cheaper.
+        assert dr < ic
+        assert di < ic
+        # And something actually got deferred on the WordNet analog.
+        deferred = sum(numeric(_cols(rows, fig8, "deferred")))
+        assert deferred > 0
+
+    bundle = get_dataset("wordnet", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("wordnet", "Q1", bundle.graph)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DR", max_results=settings.max_results
+        ).cap_construction_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig8_flickr_construction_flat(benchmark, fig8):
+    if ASSERT_SHAPES:
+        rows = rows_where(fig8, dataset="flickr")
+        # nothing deferred on the Flickr analog
+        assert sum(numeric(_cols(rows, fig8, "deferred"))) == 0
+        ic = sum(numeric(_cols(rows, fig8, "IC (ms)")))
+        di = sum(numeric(_cols(rows, fig8, "DI (ms)")))
+        smallest, largest = min(ic, di), max(ic, di)
+        assert largest <= 3 * smallest + 50
+
+    bundle = get_dataset("flickr", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("flickr", "Q2", bundle.graph)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="IC", max_results=settings.max_results
+        ).cap_construction_seconds,
+        rounds=1,
+        iterations=1,
+    )

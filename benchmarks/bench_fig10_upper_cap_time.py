@@ -1,0 +1,76 @@
+"""Figure 10 — CAP construction time vs upper bound (DBLP + Flickr)."""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    experiment_tables,
+    numeric,
+    rows_where,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp4_upper_bound import exp4_instance
+from repro.experiments.harness import scale_settings, session_for
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return experiment_tables("exp4")["Figure 10"]
+
+
+def _series(table, dataset, query, header):
+    rows = rows_where(table, dataset=dataset, query=query)
+    rows.sort(key=lambda r: r[table.headers.index("upper")])
+    idx = table.headers.index(header)
+    return [row[idx] for row in rows]
+
+
+def test_fig10_cost_grows_with_upper(benchmark, fig10):
+    show(fig10)
+    if ASSERT_SHAPES:
+        # For every (dataset, query): cost at the max swept bound exceeds
+        # cost at bound 1 for at least one strategy (growth), and the step
+        # from the top two bounds is smaller than the initial step in most
+        # series (flattening).
+        for dataset in ("dblp", "flickr"):
+            for query in ("Q2", "Q5", "Q6"):
+                ic = numeric(_series(fig10, dataset, query, "IC (ms)"))
+                assert len(ic) >= 3
+                assert ic[-1] >= ic[0] * 0.5  # monotone-ish, noise-tolerant
+        dblp_q2 = numeric(_series(fig10, "dblp", "Q2", "IC (ms)"))
+        assert dblp_q2[-1] > dblp_q2[0]
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp4_instance("dblp", "Q2", bundle.graph, upper=5)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DI", max_results=settings.max_results
+        ).cap_construction_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig10_deferment_helps_at_high_bounds_on_dblp(benchmark, fig10):
+    if ASSERT_SHAPES:
+        rows = rows_where(fig10, dataset="dblp")
+        top = [r for r in rows if r[fig10.headers.index("upper")] >= 5]
+        ic = sum(numeric([r[fig10.headers.index("IC (ms)")] for r in top]))
+        dr = sum(numeric([r[fig10.headers.index("DR (ms)")] for r in top]))
+        assert dr <= ic * 1.2  # DR no worse; typically clearly better
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp4_instance("dblp", "Q2", bundle.graph, upper=10 if SCALE == "small" else 5)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DR", max_results=settings.max_results
+        ).cap_construction_seconds,
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,89 @@
+"""Figure 11 — SRT vs upper bound, including the BU comparison."""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    experiment_tables,
+    numeric,
+    rows_where,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp4_upper_bound import exp4_instance
+from repro.experiments.harness import run_bu, scale_settings
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return experiment_tables("exp4")["Figure 11"]
+
+
+def test_fig11_strategies_orders_of_magnitude_below_bu(benchmark, fig11):
+    show(fig11)
+    if ASSERT_SHAPES:
+        bu_idx = fig11.headers.index("BU (ms)")
+        di_idx = fig11.headers.index("DI (ms)")
+        bu_cells = [row[bu_idx] for row in fig11.rows]
+        di_total = sum(numeric([row[di_idx] for row in fig11.rows]))
+        bu_total = sum(numeric(bu_cells))
+        dnfs = sum(1 for c in bu_cells if c == "DNF")
+        assert dnfs > 0 or bu_total > 5 * di_total
+
+    bundle = get_dataset("flickr", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp4_instance("flickr", "Q5", bundle.graph, upper=3)
+    benchmark.pedantic(
+        lambda: run_bu(bundle, instance, settings).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig11_di_no_worse_than_dr_overall(benchmark, fig11):
+    if ASSERT_SHAPES:
+        dr_idx = fig11.headers.index("DR (ms)")
+        di_idx = fig11.headers.index("DI (ms)")
+        dr_total = sum(numeric([row[dr_idx] for row in fig11.rows]))
+        di_total = sum(numeric([row[di_idx] for row in fig11.rows]))
+        # "DI has either the same or shorter SRT in a majority of test
+        # cases" — aggregate tolerance 1.5x.
+        assert di_total <= dr_total * 1.5 + 50
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp4_instance("dblp", "Q6", bundle.graph, upper=5)
+    from repro.experiments.harness import session_for
+
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DI", max_results=settings.max_results
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig11_rows_cover_the_sweep(benchmark, fig11):
+    uppers = {row[fig11.headers.index("upper")] for row in fig11.rows}
+    assert {1, 3, 5} <= uppers
+    datasets = {row[fig11.headers.index("dataset")] for row in fig11.rows}
+    assert datasets == {"dblp", "flickr"}
+    queries = {row[fig11.headers.index("query")] for row in fig11.rows}
+    assert queries == {"Q2", "Q5", "Q6"}
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp4_instance("dblp", "Q2", bundle.graph, upper=1)
+    from repro.experiments.harness import session_for
+
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="IC", max_results=settings.max_results
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,70 @@
+"""Figure 13 (Appendix D) — peak CAP size vs upper bound."""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    experiment_tables,
+    numeric,
+    rows_where,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp4_upper_bound import exp4_instance
+from repro.experiments.harness import scale_settings, session_for
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return experiment_tables("exp4")["Figure 13"]
+
+
+def test_fig13_size_grows_with_bound(benchmark, fig13):
+    show(fig13)
+    if ASSERT_SHAPES:
+        for dataset in ("dblp", "flickr"):
+            for query in ("Q2", "Q5", "Q6"):
+                rows = rows_where(fig13, dataset=dataset, query=query)
+                rows.sort(key=lambda r: r[fig13.headers.index("upper")])
+                sizes = numeric(
+                    [r[fig13.headers.index("IC")] for r in rows]
+                )
+                assert sizes[-1] >= sizes[0], (dataset, query)
+
+    bundle = get_dataset("flickr", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp4_instance("flickr", "Q2", bundle.graph, upper=5)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="IC", max_results=settings.max_results
+        ).cap_peak_size,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig13_size_is_modest(benchmark, fig13):
+    """The paper's point: CAP 'can easily fit in a modern machine'.
+
+    Bound the worst observed peak by a small multiple of |V| x |E_B|-ish
+    budget — quadratic blow-up would violate this by orders of magnitude.
+    """
+    worst = max(
+        numeric([r[fig13.headers.index("IC")] for r in fig13.rows]), default=0
+    )
+    graph = get_dataset("dblp", SCALE).graph
+    assert worst < 200 * graph.num_vertices
+
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp4_instance("dblp", "Q5", bundle.graph, upper=3)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DI", max_results=settings.max_results
+        ).cap_peak_size,
+        rounds=1,
+        iterations=1,
+    )

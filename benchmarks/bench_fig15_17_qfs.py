@@ -1,0 +1,124 @@
+"""Figures 15/16/17 (Appendix D) — impact of the query formulation sequence."""
+
+import pytest
+
+from benchmarks.conftest import (
+    ASSERT_SHAPES,
+    SCALE,
+    experiment_tables,
+    numeric,
+    show,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp3_strategies import exp3_instance
+from repro.experiments.harness import scale_settings, session_for
+from repro.workload.qfs import qfs_edge_order
+
+
+@pytest.fixture(scope="module")
+def qfs_tables():
+    return experiment_tables("exp7")
+
+
+def _strategy_spread(table, dataset, strategy):
+    """max/min of a strategy's metric across the QFS rows of a dataset."""
+    idx = table.headers.index(strategy)
+    values = numeric(
+        [row[idx] for row in table.rows if row[0] == dataset]
+    )
+    return (max(values), min(values)) if values else (0.0, 0.0)
+
+
+def test_fig16_ic_sensitive_deferment_insensitive(benchmark, qfs_tables):
+    fig16 = qfs_tables["Figure 16"]
+    show(qfs_tables["Figure 15"])
+    show(fig16)
+    show(qfs_tables["Figure 17"])
+    if ASSERT_SHAPES:
+        ic_max, ic_min = _strategy_spread(fig16, "wordnet", "IC")
+        dr_max, dr_min = _strategy_spread(fig16, "wordnet", "DR")
+        # IC's spread across sequences exceeds DR's (deferment reorders
+        # internally, so drawing order stops mattering).
+        ic_spread = ic_max / max(ic_min, 1e-9)
+        dr_spread = dr_max / max(dr_min, 1e-9)
+        assert ic_max > dr_max or ic_spread > dr_spread
+
+    bundle = get_dataset("wordnet", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("wordnet", "Q1", bundle.graph)
+    session = session_for(bundle)
+    worst_order = qfs_edge_order("Q1", "S1")  # expensive e1 first
+    benchmark.pedantic(
+        lambda: session.run(
+            instance,
+            strategy="IC",
+            edge_order=worst_order,
+            max_results=settings.max_results,
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig15_17_results_independent_of_qfs(benchmark, qfs_tables):
+    """Whatever the drawing order, the answers are identical."""
+    bundle = get_dataset("wordnet", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("wordnet", "Q1", bundle.graph)
+    session = session_for(bundle)
+    counts = set()
+    for sequence in ("S1", "S2", "S3"):
+        result = session.run(
+            instance,
+            strategy="DI",
+            edge_order=qfs_edge_order("Q1", sequence),
+            max_results=settings.max_results,
+        )
+        counts.add(result.num_matches)
+    assert len(counts) == 1
+
+    benchmark.pedantic(
+        lambda: session.run(
+            instance,
+            strategy="DI",
+            edge_order=qfs_edge_order("Q1", "S3"),
+            max_results=settings.max_results,
+        ).num_matches,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig17_deferment_caps_worst_case_peak(benchmark, qfs_tables):
+    """Deferment's *worst* peak over the drawing orders stays at or below
+    IC's worst peak: IC can be forced into the full-set blow-up by an
+    expensive-edge-first order, while DR/DI reorder internally.  (Per-row
+    dominance is NOT a theorem — transient sizes depend on the processing
+    permutation — so the comparison is per dataset-worst-case.)"""
+    fig17 = qfs_tables["Figure 17"]
+    ic_idx = fig17.headers.index("IC")
+    dr_idx = fig17.headers.index("DR")
+    di_idx = fig17.headers.index("DI")
+    datasets = {row[0] for row in fig17.rows}
+    for dataset in datasets:
+        rows = [r for r in fig17.rows if r[0] == dataset]
+        ic_worst = max(r[ic_idx] for r in rows)
+        dr_worst = max(r[dr_idx] for r in rows)
+        di_worst = max(r[di_idx] for r in rows)
+        assert dr_worst <= ic_worst * 1.05 + 10, dataset
+        assert di_worst <= ic_worst * 1.05 + 10, dataset
+
+    bundle = get_dataset("flickr", SCALE)
+    settings = scale_settings(SCALE)
+    instance = exp3_instance("flickr", "Q1", bundle.graph)
+    session = session_for(bundle)
+    benchmark.pedantic(
+        lambda: session.run(
+            instance,
+            strategy="IC",
+            edge_order=qfs_edge_order("Q1", "S2"),
+            max_results=settings.max_results,
+        ).cap_peak_size,
+        rounds=1,
+        iterations=1,
+    )

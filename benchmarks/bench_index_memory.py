@@ -1,0 +1,76 @@
+"""Index-footprint comparison (paper §5.2 Remark, reproduction extra).
+
+The paper rejects static k-neighborhood signatures (SPath-style) for the
+blended paradigm because "it may store a large portion of the entire data
+graph for larger k", while the CAP index "is lightweight in practice and is
+created on-the-fly ... only for candidate matches of the query vertices".
+
+This bench quantifies both sides on the DBLP analog: the static index's
+total entries as k grows vs the peak CAP size of an actual query session
+at the corresponding upper bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import ASSERT_SHAPES, SCALE
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp4_upper_bound import exp4_instance
+from repro.experiments.harness import scale_settings, session_for
+from repro.indexing.kneighborhood import KNeighborhoodIndex
+
+KS = (1, 2, 3) if SCALE == "small" else (1, 2)
+
+
+@pytest.fixture(scope="module")
+def footprints():
+    bundle = get_dataset("dblp", SCALE)
+    settings = scale_settings(SCALE)
+    session = session_for(bundle)
+    rows = []
+    for k in KS:
+        static_entries = KNeighborhoodIndex(bundle.graph, k=k).total_entries()
+        instance = exp4_instance("dblp", "Q2", bundle.graph, upper=k)
+        result = session.run(
+            instance, strategy="DI", max_results=settings.max_results
+        )
+        rows.append(
+            {
+                "k": k,
+                "static_entries": static_entries,
+                "cap_peak": result.cap_peak_size,
+            }
+        )
+    return rows
+
+
+def test_cap_far_smaller_than_static_signatures(benchmark, footprints):
+    print()
+    for row in footprints:
+        ratio = row["static_entries"] / max(row["cap_peak"], 1)
+        print(
+            f"  k={row['k']}: SPath-style entries {row['static_entries']:>9,} "
+            f"vs CAP peak {row['cap_peak']:>9,}  (ratio {ratio:,.1f}x)"
+        )
+    if ASSERT_SHAPES:
+        for row in footprints:
+            assert row["static_entries"] > row["cap_peak"]
+
+    bundle = get_dataset("dblp", SCALE)
+    benchmark.pedantic(
+        lambda: KNeighborhoodIndex(bundle.graph, k=1).total_entries(),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_static_footprint_superlinear_in_k(benchmark, footprints):
+    entries = [row["static_entries"] for row in footprints]
+    assert entries == sorted(entries)
+    assert entries[-1] > entries[0]
+
+    bundle = get_dataset("dblp", SCALE)
+    benchmark.pedantic(
+        lambda: KNeighborhoodIndex(bundle.graph, k=KS[-1]).average_signature_size(),
+        rounds=1,
+        iterations=1,
+    )

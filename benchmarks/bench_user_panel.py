@@ -1,0 +1,54 @@
+"""User-speed robustness (exp9, reproduction extra).
+
+Regenerates the simulated user panel and checks the paper-implied shape:
+deferment strategies are robust to how fast the user formulates; Immediate
+construction is the strategy whose SRT depends on user speed (fast users
+leave less latency to hide expensive edges in).
+"""
+
+import pytest
+
+from benchmarks.conftest import ASSERT_SHAPES, SCALE, experiment_tables, show
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp3_strategies import exp3_instance
+from repro.experiments.harness import scale_settings
+from repro.gui.session import VisualSession
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return experiment_tables("exp9")["User panel"]
+
+
+def _mean_by(table, strategy, speed):
+    for row in table.rows:
+        if row[0] == strategy and row[1] == speed:
+            return float(row[2])
+    raise AssertionError(f"missing row {strategy}/{speed}")
+
+
+def test_user_panel_deferment_robust_to_speed(benchmark, panel):
+    show(panel)
+    if ASSERT_SHAPES:
+        # IC: a fast user (speed 0.5) costs clearly more SRT than a slow
+        # one (speed 2.0) — the backlog effect.
+        assert _mean_by(panel, "IC", 0.5) > _mean_by(panel, "IC", 2.0)
+        # DR: run-phase drain dominates; speed changes SRT far less than
+        # it changes IC's.  Compare spreads.
+        ic_spread = _mean_by(panel, "IC", 0.5) - _mean_by(panel, "IC", 2.0)
+        dr_spread = abs(_mean_by(panel, "DR", 0.5) - _mean_by(panel, "DR", 2.0))
+        assert dr_spread < ic_spread
+
+    settings = scale_settings(SCALE)
+    bundle = get_dataset("wordnet", SCALE)
+    instance = exp3_instance("wordnet", "Q1", bundle.graph)
+    session = VisualSession(
+        bundle.make_context(), bundle.latency, jitter=0.15, speed=0.5, seed=3
+    )
+    benchmark.pedantic(
+        lambda: session.run(
+            instance, strategy="DI", max_results=settings.max_results
+        ).srt_seconds,
+        rounds=1,
+        iterations=1,
+    )

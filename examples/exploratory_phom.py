@@ -1,0 +1,92 @@
+"""Extensions tour: similarity matching, exploration, ranking, rendering.
+
+Four capabilities layered on the BPH core:
+
+1. **Similarity-based vertex matching** — the full 1-1 p-hom semantics of
+   Fan et al. (paper Section 2): a query vertex matches any data vertex
+   whose label is *similar enough* (``M(v, u) >= t``), not only equal.
+2. **Exploratory search** (paper Section 1's usability argument): while
+   the query is half-drawn, the live CAP index can *suggest* which label
+   to attach next, and report how constrained each query vertex already is.
+3. **Result ranking** — compactest matches first on the Results Panel.
+4. **DOT rendering** — the small-region visualization as Graphviz.
+
+Run with:  python examples/exploratory_phom.py
+"""
+
+from repro.core import make_context, preprocess
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.explore import estimate_selectivity, suggest_extension_labels
+from repro.core.matcher import SimilarityMatcher
+from repro.core.ranking import rank_results
+from repro.datasets import get_dataset
+from repro.gui.render import to_dot
+
+
+def main() -> None:
+    bundle = get_dataset("wordnet", scale="tiny")
+    graph = bundle.graph
+    print(f"dataset: {graph}")
+
+    # --- similarity matching: 'n' and 'v' are deemed interchangeable ----
+    def pos_similarity(query_label, data_label):
+        if query_label == data_label:
+            return 1.0
+        interchangeable = {"n", "v"}
+        if {query_label, data_label} <= interchangeable:
+            return 0.7
+        return 0.0
+
+    ctx = make_context(bundle.pre, latency=bundle.latency)
+    ctx.matcher = SimilarityMatcher(pos_similarity, threshold=0.6)
+    boomer = Boomer(ctx, strategy="DI", max_results=300)
+
+    boomer.apply(NewVertex(0, "n"))  # matches both nouns AND verbs now
+    boomer.apply(NewVertex(1, "a"))
+    boomer.apply(NewEdge(0, 1, 1, 1))
+    print(
+        f"q0 ('n', threshold 0.6) candidate pool: "
+        f"{boomer.cap.candidate_count(0)} vertices "
+        f"(label-equality would give {len(graph.vertices_with_label('n'))})"
+    )
+
+    # --- exploration on the half-drawn query -----------------------------
+    selectivity = estimate_selectivity(boomer.engine)
+    print(
+        "selectivity so far: "
+        + ", ".join(f"q{q}: {s:.0%} alive" for q, s in sorted(selectivity.items()))
+    )
+    suggestions = suggest_extension_labels(boomer.engine, 1, top_k=3)
+    print(
+        "suggested labels to attach to q1: "
+        + ", ".join(f"{label!r} (support {n})" for label, n in suggestions)
+    )
+
+    # Take the top suggestion as the user's next move.
+    next_label = suggestions[0][0]
+    boomer.apply(NewVertex(2, next_label))
+    boomer.apply(NewEdge(1, 2, 1, 2))
+    boomer.apply(Run())
+    run = boomer.run_result
+    print(
+        f"\n{run.num_matches} upper-bound matches"
+        f"{' (capped)' if run.matches.truncated else ''}; "
+        f"SRT {run.srt_seconds * 1e3:.2f} ms"
+    )
+
+    # --- ranking + rendering ---------------------------------------------
+    results = boomer.results(limit=25)
+    ranked = rank_results(results, boomer.query, ctx, scheme="compactness", limit=3)
+    print("\ntop 3 most compact matches:")
+    for result in ranked:
+        total = sum(len(p) - 1 for p in result.paths.values())
+        print(f"  {dict(sorted(result.assignment.items()))}  total path length {total}")
+
+    dot = to_dot(ranked[0], graph, boomer.query)
+    print(f"\nDOT preview of the best match ({len(dot.splitlines())} lines):")
+    print("\n".join(dot.splitlines()[:6]) + "\n  ...")
+
+
+if __name__ == "__main__":
+    main()

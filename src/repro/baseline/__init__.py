@@ -1,0 +1,15 @@
+"""Baselines BOOMER is compared against.
+
+* **BOOMER-unaware evaluation (BU)** — the paper's baseline: evaluate the
+  BPH query from scratch after the Run click, with the PML index but
+  *without* the CAP index or any blending.
+* **Distance join** — the Related-Work contrast (Zou et al. style):
+  materialize every edge's bounded-distance pair relation, then multi-way
+  join; still formulate-then-process, but join-based rather than
+  nested-loop.
+"""
+
+from repro.baseline.bu import BoomerUnaware, BUResult
+from repro.baseline.distance_join import DistanceJoin, DistanceJoinResult
+
+__all__ = ["BoomerUnaware", "BUResult", "DistanceJoin", "DistanceJoinResult"]

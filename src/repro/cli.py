@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro generate --dataset wordnet --n 500 --out graph.txt
+    python -m repro stats --graph graph.txt
+    python -m repro query --graph graph.txt --query query.txt \
+        [--strategy DI] [--limit 10] [--rank compactness] [--dot out.dot]
+
+The query file mirrors the visual formulation stream, one action per line
+(``#`` comments allowed)::
+
+    v 0 A          # vertex id 0 labeled A
+    v 1 B
+    e 0 1 1 2      # edge (0, 1) with bounds [1, 2]
+
+Lines are replayed through the blender in file order, so the file *is* the
+formulation sequence (vertex ids may be any integers; edges may only
+reference already-declared vertices).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.actions import Action, NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.preprocessor import make_context, preprocess
+from repro.core.ranking import RANKINGS, rank_results
+from repro.errors import ReproError
+from repro.graph.generators import dblp_like, flickr_like, wordnet_like
+from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.stats import compute_stats
+from repro.gui.render import to_dot, to_text
+
+__all__ = ["main", "parse_query_file"]
+
+_GENERATORS = {
+    "wordnet": wordnet_like,
+    "dblp": dblp_like,
+    "flickr": flickr_like,
+}
+
+
+def parse_query_file(path: str | Path) -> list[Action]:
+    """Parse the query-file format into an action list ending with Run."""
+    actions: list[Action] = []
+    declared: set[int] = set()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                if parts[0] == "v":
+                    vid = int(parts[1])
+                    label = " ".join(parts[2:])
+                    if not label:
+                        raise ValueError("vertex missing label")
+                    actions.append(NewVertex(vid, label))
+                    declared.add(vid)
+                elif parts[0] == "e":
+                    u, v = int(parts[1]), int(parts[2])
+                    lower = int(parts[3]) if len(parts) > 3 else 1
+                    upper = int(parts[4]) if len(parts) > 4 else lower
+                    if u not in declared or v not in declared:
+                        raise ValueError("edge references undeclared vertex")
+                    actions.append(NewEdge(u, v, lower, upper))
+                else:
+                    raise ValueError(f"unknown record {parts[0]!r}")
+            except (ValueError, IndexError) as exc:
+                raise ReproError(f"{path}:{lineno}: {exc}") from exc
+    if not actions:
+        raise ReproError(f"{path}: empty query file")
+    actions.append(Run())
+    return actions
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = _GENERATORS[args.dataset]
+    graph = generator(args.n, seed=args.seed)
+    save_edge_list(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph)
+    print(compute_stats(graph).describe())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph)
+    print(f"loaded {graph}", file=sys.stderr)
+    actions = parse_query_file(args.query)
+    pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
+    print(pre.summary(), file=sys.stderr)
+
+    boomer = Boomer(
+        make_context(pre),
+        strategy=args.strategy,
+        max_results=args.max_matches,
+    )
+    boomer.execute_stream(actions)
+    run = boomer.run_result
+    print(
+        f"V_delta: {run.num_matches} upper-bound matches"
+        f"{' (truncated)' if run.matches.truncated else ''}, "
+        f"SRT {run.srt_seconds * 1e3:.2f} ms, "
+        f"CAP size {run.cap_size.total}",
+        file=sys.stderr,
+    )
+
+    results = boomer.results(limit=args.limit)
+    if args.rank:
+        results = rank_results(
+            results, boomer.query, boomer.engine.ctx, scheme=args.rank
+        )
+    for result in results:
+        print()
+        print(to_text(result, graph, boomer.query))
+    if args.dot and results:
+        Path(args.dot).write_text(
+            to_dot(results[0], graph, boomer.query), encoding="utf-8"
+        )
+        print(f"\nDOT of top match written to {args.dot}", file=sys.stderr)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.gui.recording import load_actions
+    from repro.gui.session import VisualSession
+
+    graph = load_edge_list(args.graph)
+    actions = load_actions(args.recording)
+    pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
+    print(pre.summary(), file=sys.stderr)
+    session = VisualSession(make_context(pre))
+    result = session.run_actions(
+        actions,
+        instance_name=str(args.recording),
+        strategy=args.strategy,
+        max_results=args.max_matches,
+    )
+    print(
+        f"replayed {len(actions)} actions ({args.strategy}): "
+        f"{result.num_matches} matches, SRT {result.srt_seconds * 1e3:.2f} ms, "
+        f"backlog {result.backlog_seconds * 1e3:.2f} ms, "
+        f"CAP time {result.cap_construction_seconds * 1e3:.2f} ms",
+        file=sys.stderr,
+    )
+    for subgraph in result.boomer.results(limit=args.limit):
+        print()
+        print(to_text(subgraph, graph, result.boomer.query))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="BOOMER BPH query engine"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="emit a synthetic dataset")
+    generate.add_argument("--dataset", choices=sorted(_GENERATORS), required=True)
+    generate.add_argument("--n", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="describe a graph file")
+    stats.add_argument("--graph", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser("query", help="evaluate a BPH query")
+    query.add_argument("--graph", required=True)
+    query.add_argument("--query", required=True)
+    query.add_argument("--strategy", default="DI", choices=("IC", "DR", "DI"))
+    query.add_argument("--limit", type=int, default=10, help="results to print")
+    query.add_argument(
+        "--max-matches", type=int, default=100_000, help="V_delta enumeration cap"
+    )
+    query.add_argument("--rank", choices=sorted(RANKINGS), default=None)
+    query.add_argument("--dot", default=None, help="write top match as DOT here")
+    query.add_argument("--t-avg-samples", type=int, default=5000)
+    query.set_defaults(func=_cmd_query)
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded formulation session (JSON)"
+    )
+    replay.add_argument("--graph", required=True)
+    replay.add_argument("--recording", required=True)
+    replay.add_argument("--strategy", default="DI", choices=("IC", "DR", "DI"))
+    replay.add_argument("--limit", type=int, default=10)
+    replay.add_argument("--max-matches", type=int, default=100_000)
+    replay.add_argument("--t-avg-samples", type=int, default=5000)
+    replay.set_defaults(func=_cmd_replay)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns an exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""GUI actions and the action stream.
+
+Algorithm 1 of the paper drives everything from four *visual actions*:
+``NewVertex``, ``NewEdge``, ``Modify`` (bounds update or edge deletion) and
+``Run``.  The engine never sees mouse events — only these semantic actions,
+which is precisely what makes BOOMER "independent of specific steps taken
+by a GUI" (Section 4).
+
+Each action optionally carries the *GUI latency* that the following user
+step will take (``latency_after``): the time window the engine may exploit
+for CAP work before the next action arrives.  The GUI simulator fills this
+in from its latency model; when absent, the engine assumes its configured
+``t_lat``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ActionError
+
+__all__ = [
+    "Action",
+    "NewVertex",
+    "NewEdge",
+    "ModifyBounds",
+    "DeleteEdge",
+    "Run",
+    "ActionStream",
+]
+
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class of all GUI actions."""
+
+    #: Seconds of GUI latency available *after* this action (the time the
+    #: user will spend performing the next visual step).  ``None`` = use the
+    #: engine's configured minimum latency t_lat.
+    latency_after: float | None = field(default=None, kw_only=True)
+
+    @property
+    def kind(self) -> str:
+        """Short action name used in logs and reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class NewVertex(Action):
+    """The user dragged a label onto the Query Panel, creating a vertex."""
+
+    vertex_id: int
+    label: Label
+
+
+@dataclass(frozen=True)
+class NewEdge(Action):
+    """The user connected two query vertices and (optionally) set bounds."""
+
+    u: int
+    v: int
+    lower: int = 1
+    upper: int = 1
+
+
+@dataclass(frozen=True)
+class ModifyBounds(Action):
+    """The user changed the bounds of an existing edge."""
+
+    u: int
+    v: int
+    lower: int
+    upper: int
+
+
+@dataclass(frozen=True)
+class DeleteEdge(Action):
+    """The user deleted an existing edge."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class Run(Action):
+    """The user clicked the Run icon."""
+
+
+class ActionStream:
+    """Ordered stream of actions with a consumption cursor.
+
+    Mirrors the paper's ``stream``: actions are appended as the user draws
+    and consumed by the blender in order.  Iterating yields *unconsumed*
+    actions; :meth:`consume` advances the cursor.
+    """
+
+    def __init__(self, actions: Iterable[Action] = ()) -> None:
+        self._actions: list[Action] = list(actions)
+        self._cursor = 0
+        self._validate_ordering()
+
+    def _validate_ordering(self) -> None:
+        ran = False
+        for action in self._actions:
+            if ran:
+                raise ActionError("actions may not follow Run in a stream")
+            if isinstance(action, Run):
+                ran = True
+
+    def append(self, action: Action) -> None:
+        """Append a new user action."""
+        if any(isinstance(a, Run) for a in self._actions):
+            raise ActionError("cannot append after Run")
+        self._actions.append(action)
+
+    def pending(self) -> list[Action]:
+        """Unconsumed actions, oldest first."""
+        return self._actions[self._cursor :]
+
+    def consume(self) -> Action:
+        """Pop and return the oldest unconsumed action."""
+        if self._cursor >= len(self._actions):
+            raise ActionError("action stream is exhausted")
+        action = self._actions[self._cursor]
+        self._cursor += 1
+        return action
+
+    @property
+    def has_pending(self) -> bool:
+        """True when unconsumed actions remain."""
+        return self._cursor < len(self._actions)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.pending())
+
+    def __repr__(self) -> str:
+        return f"ActionStream({len(self._actions)} actions, cursor={self._cursor})"

@@ -1,0 +1,403 @@
+"""The BOOMER query blender (Algorithm 1) — engine + public facade.
+
+:class:`BlenderEngine` owns the mutable state of one formulation session
+(query, CAP index, edge pool) and the timed primitives strategies invoke.
+:class:`Boomer` is the public API: feed it GUI actions (or whole action
+streams) and it interleaves CAP construction with formulation, completes
+the index at Run, enumerates the upper-bound matches ``V_Δ``, and filters
+by lower bounds just-in-time as results are visualized.
+
+Timing model
+------------
+Two wall-clock accumulators:
+
+* ``formulation_compute`` — CAP work done *during* formulation, hidden
+  inside GUI latency (the user never waits for it);
+* the **SRT** — system response time — everything between the Run click
+  and the availability of ``V_Δ``: draining the pool of deferred edges plus
+  enumeration.  This is exactly what the paper's Figures 5-7 and 11 plot.
+
+CAP *construction time* (Figures 8/10) is the sum of CAP work wherever it
+happened: formulation compute + run-phase pool drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import (
+    Action,
+    ActionStream,
+    DeleteEdge,
+    ModifyBounds,
+    NewEdge,
+    NewVertex,
+    Run,
+)
+from repro.core.cap import CAPIndex, CAPSizeReport
+from repro.core.context import EngineContext
+from repro.core.cost import CostModel
+from repro.core.edge_pool import EdgePool
+from repro.core.enumerate import PartialMatches, partial_vertex_sets
+from repro.core.lowerbound import ResultSubgraph, filter_by_lower_bound
+from repro.core.modification import ModificationReport, delete_edge, modify_bounds
+from repro.core.pvs import populate_vertex_set
+from repro.core.query import BPHQuery, QueryEdge
+from repro.core.strategies import (
+    ConstructionStrategy,
+    DeferToIdleStrategy,
+    ImmediateStrategy,
+    make_strategy,
+)
+from repro.errors import ActionError, SessionError
+from repro.utils.timing import Stopwatch, TimeBudget, now
+
+__all__ = ["BlenderEngine", "Boomer", "ActionReport", "RunResult"]
+
+
+@dataclass
+class ActionReport:
+    """What happened when one GUI action was applied."""
+
+    action: Action
+    processed_now: bool  # for NewEdge: processed inline vs pooled
+    compute_seconds: float  # engine compute triggered by this action
+    idle_probe_seconds: float = 0.0  # extra compute done in leftover latency
+    modification: ModificationReport | None = None
+
+
+@dataclass
+class RunResult:
+    """Everything produced by the Run click."""
+
+    matches: PartialMatches  # V_Δ (upper-bound constrained)
+    srt_seconds: float  # Run click -> V_Δ available
+    run_drain_seconds: float  # pool-drain share of the SRT
+    enumeration_seconds: float  # DFS share of the SRT
+    cap_construction_seconds: float  # formulation compute + run drain
+    formulation_compute_seconds: float
+    cap_size: CAPSizeReport
+    cap_peak_size: int  # largest transient size (Figures 9/13/17)
+    counters: dict[str, int]
+    strategy: str
+
+    @property
+    def num_matches(self) -> int:
+        """``|V_Δ|``."""
+        return len(self.matches)
+
+
+class BlenderEngine:
+    """Mutable session state + timed CAP operations (strategy-facing API)."""
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        strategy: ConstructionStrategy,
+        pruning: bool = True,
+        force_large_upper: bool = False,
+    ) -> None:
+        self.ctx = ctx
+        self.strategy = strategy
+        self.query = BPHQuery()
+        self.cap = CAPIndex(pruning_enabled=pruning)
+        self.pool = EdgePool()
+        self.force_large_upper = force_large_upper
+        self.formulation_compute = Stopwatch()
+        self.run_drain = Stopwatch()
+        self._phase = "formulation"  # or "run"
+
+    # -- configuration shortcuts ------------------------------------------
+    @property
+    def cost_model(self) -> CostModel:
+        """The ``t_avg``/``t_lat`` cost model (Definition 5.8)."""
+        return self.ctx.cost_model
+
+    @property
+    def t_lat(self) -> float:
+        """Minimum GUI latency assumed when an action carries none."""
+        return self.ctx.cost_model.t_lat
+
+    # -- timed primitives ---------------------------------------------------
+    def _active_timer(self) -> Stopwatch:
+        return self.run_drain if self._phase == "run" else self.formulation_compute
+
+    def enter_run_phase(self) -> None:
+        """Switch timing accrual from formulation latency to SRT."""
+        self._phase = "run"
+
+    def process_new_vertex(self, vertex_id: int, label: object) -> None:
+        """Create the CAP level for a fresh query vertex (Alg. 2 lines 2-4)."""
+        with self._active_timer():
+            self.cap.add_level(vertex_id, self.ctx.candidates_for(label))
+
+    def process_edge(self, edge: QueryEdge) -> float:
+        """ProcessEdge (Algorithm 6): begin, populate, prune.  Returns cost."""
+        start = now()
+        with self._active_timer():
+            self.cap.begin_edge(edge.u, edge.v)
+            populate_vertex_set(
+                self.cap, self.ctx, edge, force_large_upper=self.force_large_upper
+            )
+            self.cap.finish_edge(edge.u, edge.v)
+            self.ctx.counters.edges_processed += 1
+        return now() - start
+
+    def probe_pool(self, budget: TimeBudget) -> int:
+        """Algorithm 10: drain pooled edges that fit in ``budget``.
+
+        Returns how many edges were processed.  The budget shrinks with the
+        real time spent, so an optimistic estimate cannot overdraw the idle
+        window by more than one edge.
+        """
+        self.ctx.counters.pool_probes += 1
+        processed = 0
+        while self.pool and not budget.exhausted:
+            entry = self.pool.min_edge(self.cap, self.cost_model)
+            if entry is None:
+                break
+            edge, estimated = entry
+            if estimated > budget.remaining():
+                break  # still too expensive; await the next GUI action
+            self.pool.remove(edge.u, edge.v)
+            self.process_edge(edge)
+            processed += 1
+        return processed
+
+    def drain_pool(self) -> int:
+        """Process every pooled edge, cheapest (current T_est) first."""
+        processed = 0
+        while self.pool:
+            entry = self.pool.min_edge(self.cap, self.cost_model)
+            if entry is None:  # pragma: no cover - defensive
+                break
+            edge, _ = entry
+            self.pool.remove(edge.u, edge.v)
+            self.process_edge(edge)
+            processed += 1
+        return processed
+
+    def after_modification(self) -> None:
+        """Strategy-specific follow-up to a rollback (Section 6).
+
+        IC never defers, so re-pooled edges are processed immediately; DI
+        probes within one latency window; DR leaves them for Run.
+        """
+        if isinstance(self.strategy, ImmediateStrategy):
+            self.drain_pool()
+        elif isinstance(self.strategy, DeferToIdleStrategy):
+            self.probe_pool(TimeBudget(self.t_lat))
+
+    @property
+    def cap_construction_seconds(self) -> float:
+        """Total CAP build time regardless of where it was hidden."""
+        return self.formulation_compute.elapsed + self.run_drain.elapsed
+
+
+class Boomer:
+    """Public facade: Algorithm 1's event loop plus result generation.
+
+    Parameters
+    ----------
+    ctx:
+        Preprocessed engine context (see :func:`repro.core.preprocessor.make_context`).
+    strategy:
+        ``"IC"`` / ``"DR"`` / ``"DI"`` or a :class:`ConstructionStrategy`.
+    pruning:
+        Disable to get the "No Pruning" ablation arm (Exp 2).
+    force_large_upper:
+        Route *all* PVS work through the PML all-pairs search — the
+        "1-Strategy" arm of Exp 1.
+    max_results:
+        Cap on ``|V_Δ|`` enumeration (None = unbounded); truncation is
+        reported on the result.
+    """
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        strategy: str | ConstructionStrategy = "DI",
+        pruning: bool = True,
+        force_large_upper: bool = False,
+        max_results: int | None = None,
+        auto_idle: bool = True,
+    ) -> None:
+        if isinstance(strategy, str):
+            strategy = make_strategy(strategy)
+        self.engine = BlenderEngine(
+            ctx,
+            strategy,
+            pruning=pruning,
+            force_large_upper=force_large_upper,
+        )
+        self.max_results = max_results
+        #: When True (standalone use), each apply() ends with an idle-probe
+        #: whose budget is the action's leftover latency.  Timeline-driving
+        #: callers (VisualSession) disable it and call probe_idle themselves
+        #: with budgets derived from the virtual formulation clock.
+        self.auto_idle = auto_idle
+        self.action_reports: list[ActionReport] = []
+        self.run_result: RunResult | None = None
+        self.result_generation = Stopwatch()
+
+    # -- convenience passthroughs ---------------------------------------------
+    @property
+    def query(self) -> BPHQuery:
+        """The query as formulated so far."""
+        return self.engine.query
+
+    @property
+    def cap(self) -> CAPIndex:
+        """The live CAP index."""
+        return self.engine.cap
+
+    @property
+    def strategy_name(self) -> str:
+        """Short name of the active construction strategy."""
+        return self.engine.strategy.name
+
+    # -- Algorithm 1 event loop ---------------------------------------------
+    def apply(self, action: Action) -> ActionReport:
+        """Apply one GUI action; returns what the engine did with it."""
+        if self.run_result is not None:
+            raise ActionError("query already executed; start a new session")
+        if isinstance(action, Run):
+            self._run()
+            report = ActionReport(
+                action=action,
+                processed_now=True,
+                compute_seconds=self.run_result.srt_seconds,
+            )
+            self.action_reports.append(report)
+            return report
+
+        engine = self.engine
+        start = now()
+        modification: ModificationReport | None = None
+        processed_now = True
+
+        if isinstance(action, NewVertex):
+            engine.query.add_vertex(action.label, vertex_id=action.vertex_id)
+            engine.process_new_vertex(action.vertex_id, action.label)
+        elif isinstance(action, NewEdge):
+            edge = engine.query.add_edge(
+                action.u, action.v, lower=action.lower, upper=action.upper
+            )
+            processed_now = engine.strategy.on_new_edge(engine, edge)
+        elif isinstance(action, ModifyBounds):
+            modification = modify_bounds(
+                engine, action.u, action.v, action.lower, action.upper
+            )
+        elif isinstance(action, DeleteEdge):
+            modification = delete_edge(engine, action.u, action.v)
+        else:
+            raise ActionError(f"unsupported action {action!r}")
+
+        spent = now() - start
+        probe_seconds = 0.0
+        if self.auto_idle:
+            # Leftover latency of this user step feeds Defer-to-Idle's probe.
+            latency = (
+                action.latency_after
+                if action.latency_after is not None
+                else engine.t_lat
+            )
+            probe_seconds = self.probe_idle(max(latency - spent, 0.0))
+
+        report = ActionReport(
+            action=action,
+            processed_now=processed_now,
+            compute_seconds=spent,
+            idle_probe_seconds=probe_seconds,
+            modification=modification,
+        )
+        self.action_reports.append(report)
+        return report
+
+    def probe_idle(self, idle_seconds: float) -> float:
+        """Give the strategy ``idle_seconds`` of leftover GUI latency.
+
+        Only Defer-to-Idle acts on it (Algorithm 4's pool probe); returns
+        the compute time actually consumed.
+        """
+        if idle_seconds <= 0.0:
+            return 0.0
+        start = now()
+        self.engine.strategy.on_idle(self.engine, idle_seconds)
+        return now() - start
+
+    def execute_stream(self, actions: ActionStream | list[Action]) -> RunResult:
+        """Apply a whole stream (must end with Run); returns the run result."""
+        stream = actions if isinstance(actions, ActionStream) else ActionStream(actions)
+        while stream.has_pending:
+            self.apply(stream.consume())
+        if self.run_result is None:
+            raise SessionError("action stream did not contain a Run action")
+        return self.run_result
+
+    def _run(self) -> None:
+        """The Run click: finish CAP, enumerate V_Δ, record the SRT."""
+        engine = self.engine
+        engine.query.validate()
+        engine.enter_run_phase()
+
+        srt_start = now()
+        engine.drain_pool()
+        drain_seconds = now() - srt_start
+
+        enum_start = now()
+        matches = partial_vertex_sets(
+            engine.query,
+            engine.cap,
+            matching_order=engine.query.matching_order,
+            max_results=self.max_results,
+        )
+        enumeration_seconds = now() - enum_start
+
+        self.run_result = RunResult(
+            matches=matches,
+            srt_seconds=now() - srt_start,
+            run_drain_seconds=drain_seconds,
+            enumeration_seconds=enumeration_seconds,
+            cap_construction_seconds=engine.cap_construction_seconds,
+            formulation_compute_seconds=engine.formulation_compute.elapsed,
+            cap_size=engine.cap.size_report(),
+            cap_peak_size=engine.cap.peak_total,
+            counters=engine.ctx.counters.snapshot(),
+            strategy=engine.strategy.name,
+        )
+
+    # -- result generation (Section 5.4) ------------------------------------
+    def visualize(self, match: dict[int, int]) -> ResultSubgraph | None:
+        """Lower-bound check + path materialization for one ``V_P``.
+
+        Returns None when the match fails some lower bound (it is then not
+        a bounded 1-1 p-hom match and is not displayed).
+        """
+        if self.run_result is None:
+            raise SessionError("call apply(Run()) before visualizing results")
+        with self.result_generation:
+            return filter_by_lower_bound(match, self.engine.query, self.engine.ctx)
+
+    def iter_results(self):
+        """Lazily yield validated result subgraphs, one per Results-Panel step.
+
+        Mirrors the paper's iteration model: the lower-bound check runs
+        just-in-time per displayed result, so the first results appear
+        without paying for validating the whole ``V_Δ``.
+        """
+        if self.run_result is None:
+            raise SessionError("call apply(Run()) before fetching results")
+        for match in self.run_result.matches:
+            subgraph = self.visualize(match)
+            if subgraph is not None:
+                yield subgraph
+
+    def results(self, limit: int | None = None) -> list[ResultSubgraph]:
+        """All (or the first ``limit``) fully validated result subgraphs."""
+        out: list[ResultSubgraph] = []
+        for subgraph in self.iter_results():
+            out.append(subgraph)
+            if limit is not None and len(out) >= limit:
+                break
+        return out

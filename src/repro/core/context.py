@@ -1,0 +1,100 @@
+"""Shared engine context: the data graph plus everything preprocessed.
+
+One :class:`EngineContext` is built per data graph (via
+:mod:`repro.core.preprocessor`) and shared across queries, strategies, the
+baseline, and the experiment harness.  It also centralizes the counters the
+experiments report (distance queries issued, PVS scan choices, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.matcher import LabelEqualityMatcher, VertexMatcher
+from repro.graph.graph import Graph
+from repro.indexing.oracle import DistanceOracle
+
+__all__ = ["EngineContext", "EngineCounters"]
+
+
+@dataclass
+class EngineCounters:
+    """Mutable instrumentation shared by the PVS searches and strategies."""
+
+    distance_queries: int = 0
+    out_scans: int = 0
+    in_scans: int = 0
+    pairs_added: int = 0
+    edges_processed: int = 0
+    edges_deferred: int = 0
+    pool_probes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.distance_queries = 0
+        self.out_scans = 0
+        self.in_scans = 0
+        self.pairs_added = 0
+        self.edges_processed = 0
+        self.edges_deferred = 0
+        self.pool_probes = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters as a plain dict (for reports)."""
+        return {
+            "distance_queries": self.distance_queries,
+            "out_scans": self.out_scans,
+            "in_scans": self.in_scans,
+            "pairs_added": self.pairs_added,
+            "edges_processed": self.edges_processed,
+            "edges_deferred": self.edges_deferred,
+            "pool_probes": self.pool_probes,
+        }
+
+
+@dataclass
+class EngineContext:
+    """Everything a strategy needs to process query vertices and edges.
+
+    Attributes
+    ----------
+    graph:
+        The data graph.
+    oracle:
+        Exact shortest-path distance oracle (PML by default; the framework
+        is oracle-agnostic per the paper's footnote 5).
+    two_hop:
+        Per-vertex 2-hop neighborhood *counts* (Section 5.2) feeding the
+        two-hop search's scan-choice cost model.
+    cost_model:
+        ``t_avg`` / ``t_lat`` bundle answering Definition 5.8.
+    """
+
+    graph: Graph
+    oracle: DistanceOracle
+    two_hop: np.ndarray
+    cost_model: CostModel
+    counters: EngineCounters = field(default_factory=EngineCounters)
+    #: Ablation hook: force every PVS scan choice to "in" or "out" instead
+    #: of the Lemma 5.3/5.4 cost comparison (None = cost model decides).
+    scan_override: str | None = None
+    #: Vertex-matching policy: label equality (BPH default, Def. 3.1) or a
+    #: similarity matcher (full 1-1 p-hom semantics, Sec. 2).
+    matcher: VertexMatcher = field(default_factory=LabelEqualityMatcher)
+
+    def candidates_for(self, label: object) -> list[int]:
+        """Candidate data vertices of a query vertex labeled ``label``."""
+        return [int(v) for v in self.matcher.candidates_for(self.graph, label)]
+
+    def distance(self, u: int, v: int) -> int:
+        """Counted oracle distance query."""
+        self.counters.distance_queries += 1
+        return self.oracle.distance(u, v)
+
+    def within(self, u: int, v: int, upper: int) -> bool:
+        """Counted bounded-distance check."""
+        self.counters.distance_queries += 1
+        return self.oracle.within(u, v, upper)

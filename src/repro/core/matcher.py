@@ -1,0 +1,141 @@
+"""Vertex matchers: from label equality to similarity-based matching.
+
+The BPH queries of the paper match vertices by *label equality*
+(Definition 3.1), but the underlying 1-1 p-homomorphism of Fan et al. —
+which BPH specializes — matches vertices by a **similarity matrix**:
+``ξ(v) = u`` requires ``M(v, u) >= t`` for a threshold ``t`` (paper
+Section 2).  This module restores that generality as a pluggable policy:
+
+* :class:`LabelEqualityMatcher` — the paper's BPH default; candidate
+  retrieval is the O(1) label-index lookup.
+* :class:`SimilarityMatcher` — a similarity function over *labels* plus a
+  threshold; the candidate set of a query vertex is the union of the label
+  buckets whose similarity to the query label reaches the threshold.
+  (Similarity between labels rather than between individual vertices keeps
+  retrieval index-backed, matching how M is built from label information
+  in [13].)
+
+The blender, baseline, and modification rollback all fetch candidates
+through :meth:`EngineContext`-agnostic ``candidates_for`` so that every
+component honors the same matcher.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "VertexMatcher",
+    "LabelEqualityMatcher",
+    "SimilarityMatcher",
+    "jaccard_label_similarity",
+]
+
+Label = Hashable
+
+
+@runtime_checkable
+class VertexMatcher(Protocol):
+    """Maps a query-vertex label to its candidate data vertices."""
+
+    def candidates_for(self, graph: Graph, label: Label) -> np.ndarray:
+        """Sorted array of data-vertex ids that *match* ``label``."""
+        ...
+
+    def matches(self, graph: Graph, label: Label, vertex: int) -> bool:
+        """Does data vertex ``vertex`` match query label ``label``?"""
+        ...
+
+
+class LabelEqualityMatcher:
+    """The BPH default: ``L(q) == L(v)`` (Definition 3.1)."""
+
+    def candidates_for(self, graph: Graph, label: Label) -> np.ndarray:
+        return graph.vertices_with_label(label)
+
+    def matches(self, graph: Graph, label: Label, vertex: int) -> bool:
+        return graph.label(vertex) == label
+
+    def __repr__(self) -> str:
+        return "LabelEqualityMatcher()"
+
+
+class SimilarityMatcher:
+    """1-1 p-hom style matching: ``sim(L(q), L(v)) >= threshold``.
+
+    Parameters
+    ----------
+    similarity:
+        ``sim(query_label, data_label) -> float`` in ``[0, 1]``.  Must give
+        1.0 for identical labels if exact matches should always qualify.
+    threshold:
+        The paper's ``t``: a vertex qualifies iff similarity reaches it.
+
+    Candidate retrieval unions the graph's per-label buckets whose label
+    clears the threshold, then sorts — still index-backed, so CAP
+    construction is unchanged apart from larger candidate sets.
+    """
+
+    def __init__(
+        self,
+        similarity: Callable[[Label, Label], float],
+        threshold: float,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.similarity = similarity
+        self.threshold = threshold
+        # (graph id, query label) -> candidate array; similarity over the
+        # label alphabet is cheap but repeated per query vertex otherwise.
+        self._cache: dict[tuple[int, Label], np.ndarray] = {}
+
+    def matching_labels(self, graph: Graph, label: Label) -> list[Label]:
+        """Data-graph labels whose similarity to ``label`` >= threshold."""
+        return [
+            data_label
+            for data_label in sorted(graph.distinct_labels(), key=repr)
+            if self.similarity(label, data_label) >= self.threshold
+        ]
+
+    def candidates_for(self, graph: Graph, label: Label) -> np.ndarray:
+        key = (id(graph), label)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        buckets = [
+            graph.vertices_with_label(data_label)
+            for data_label in self.matching_labels(graph, label)
+        ]
+        if buckets:
+            merged = np.unique(np.concatenate(buckets)).astype(np.int32)
+        else:
+            merged = np.empty(0, dtype=np.int32)
+        self._cache[key] = merged
+        return merged
+
+    def matches(self, graph: Graph, label: Label, vertex: int) -> bool:
+        return self.similarity(label, graph.label(vertex)) >= self.threshold
+
+    def __repr__(self) -> str:
+        return f"SimilarityMatcher(threshold={self.threshold})"
+
+
+def jaccard_label_similarity(a: Label, b: Label) -> float:
+    """Character-set Jaccard similarity between two string-able labels.
+
+    A convenient default for demos/tests: identical labels give 1.0,
+    disjoint alphabets give 0.0.
+    """
+    set_a = set(str(a).lower())
+    set_b = set(str(b).lower())
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)

@@ -1,0 +1,319 @@
+"""Bounded 1-1 *p*-homomorphic (BPH) query model.
+
+A BPH query ``Q_B = (V_B, E_B, L, λ)`` (paper Section 3.1) is a connected,
+undirected, simple, vertex-labeled graph whose edges carry path-length
+bounds ``[lower, upper]`` with ``1 <= lower <= upper``.  A set of distinct
+data vertices is a match (Definition 3.1) when labels agree, the set has
+one vertex per query vertex, and every query edge has a matching path whose
+length falls within its bounds.
+
+Unlike the data graph, the query is *mutable*: it is exactly the object a
+user grows (and modifies) on the Query Panel, one vertex/edge at a time.
+The matching order ``M`` records the order vertices were drawn in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Iterator
+
+from repro.errors import (
+    BoundsError,
+    QueryEdgeNotFoundError,
+    QueryValidationError,
+    QueryVertexNotFoundError,
+)
+
+__all__ = ["Bounds", "QueryVertex", "QueryEdge", "BPHQuery", "canonical_edge"]
+
+Label = Hashable
+
+
+def canonical_edge(u: int, v: int) -> tuple[int, int]:
+    """Canonical key of the undirected query edge ``{u, v}``."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Path-length bounds ``[lower, upper]`` of a query edge.
+
+    The paper's GUI defaults a fresh edge to ``[1, 1]``; with every edge at
+    ``[1, 1]``, BPH matching reduces to subgraph isomorphism.
+    """
+
+    lower: int = 1
+    upper: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lower < 1:
+            raise BoundsError(f"lower bound must be >= 1, got {self.lower}")
+        if self.lower > self.upper:
+            raise BoundsError(
+                f"lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+    @property
+    def is_default(self) -> bool:
+        """True for the GUI default ``[1, 1]`` (edge-to-edge mapping)."""
+        return self.lower == 1 and self.upper == 1
+
+    def contains(self, length: int) -> bool:
+        """Does a path of ``length`` satisfy these bounds?"""
+        return self.lower <= length <= self.upper
+
+    def __str__(self) -> str:
+        return f"[{self.lower},{self.upper}]"
+
+
+@dataclass(frozen=True)
+class QueryVertex:
+    """A query vertex: dense id + label dragged from the Attribute Panel."""
+
+    id: int
+    label: Label
+
+
+@dataclass(frozen=True)
+class QueryEdge:
+    """A query edge with its bounds; ``(u, v)`` is stored canonically."""
+
+    u: int
+    v: int
+    bounds: Bounds
+
+    def __post_init__(self) -> None:
+        if self.u > self.v:
+            raise QueryValidationError(
+                "QueryEdge endpoints must be canonical (u <= v); "
+                "use BPHQuery.add_edge which canonicalizes"
+            )
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The canonical ``(u, v)`` pair identifying the edge."""
+        return (self.u, self.v)
+
+    @property
+    def lower(self) -> int:
+        """Shortcut for ``bounds.lower`` (paper notation ``e_q.lower``)."""
+        return self.bounds.lower
+
+    @property
+    def upper(self) -> int:
+        """Shortcut for ``bounds.upper`` (paper notation ``e_q.upper``)."""
+        return self.bounds.upper
+
+    def other_endpoint(self, q: int) -> int:
+        """The endpoint that is not ``q``."""
+        if q == self.u:
+            return self.v
+        if q == self.v:
+            return self.u
+        raise QueryVertexNotFoundError(q)
+
+    def __str__(self) -> str:
+        return f"(q{self.u}, q{self.v}){self.bounds}"
+
+
+class BPHQuery:
+    """Mutable BPH query graph.
+
+    >>> q = BPHQuery()
+    >>> a = q.add_vertex("BCL2"); b = q.add_vertex("CASP3")
+    >>> _ = q.add_edge(a, b, lower=1, upper=3)
+    >>> q.edge_between(a, b).upper
+    3
+    """
+
+    def __init__(self, name: str = "query") -> None:
+        self.name = name
+        self._vertices: dict[int, QueryVertex] = {}
+        self._edges: dict[tuple[int, int], QueryEdge] = {}
+        self._adjacency: dict[int, set[int]] = {}
+        self._matching_order: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction / mutation (mirrors GUI actions)
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Label, vertex_id: int | None = None) -> int:
+        """Add a query vertex; returns its id.
+
+        ``vertex_id`` lets callers (the GUI simulator, tests) pin explicit
+        ids matching the paper's q1, q2, ... numbering; by default ids are
+        allocated densely starting at 0.
+        """
+        if label is None:
+            raise QueryValidationError("query vertex label must not be None")
+        vid = vertex_id if vertex_id is not None else self._next_id()
+        if vid in self._vertices:
+            raise QueryValidationError(f"query vertex id {vid} already exists")
+        self._vertices[vid] = QueryVertex(vid, label)
+        self._adjacency[vid] = set()
+        self._matching_order.append(vid)
+        return vid
+
+    def add_edge(self, u: int, v: int, lower: int = 1, upper: int = 1) -> QueryEdge:
+        """Add the edge ``{u, v}`` with bounds ``[lower, upper]``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise QueryValidationError("self loops are not allowed in a BPH query")
+        key = canonical_edge(u, v)
+        if key in self._edges:
+            raise QueryValidationError(f"query edge {key} already exists")
+        edge = QueryEdge(key[0], key[1], Bounds(lower, upper))
+        self._edges[key] = edge
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        return edge
+
+    def remove_edge(self, u: int, v: int) -> QueryEdge:
+        """Remove edge ``{u, v}``, returning the removed edge."""
+        key = canonical_edge(u, v)
+        edge = self._edges.pop(key, None)
+        if edge is None:
+            raise QueryEdgeNotFoundError(u, v)
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        return edge
+
+    def set_bounds(self, u: int, v: int, lower: int, upper: int) -> QueryEdge:
+        """Replace the bounds of edge ``{u, v}``; returns the updated edge."""
+        key = canonical_edge(u, v)
+        if key not in self._edges:
+            raise QueryEdgeNotFoundError(u, v)
+        edge = QueryEdge(key[0], key[1], Bounds(lower, upper))
+        self._edges[key] = edge
+        return edge
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """``|V_B|``."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E_B|``."""
+        return len(self._edges)
+
+    def vertex(self, vid: int) -> QueryVertex:
+        """The vertex with id ``vid``."""
+        self._check_vertex(vid)
+        return self._vertices[vid]
+
+    def label(self, vid: int) -> Label:
+        """``L(q)`` for query vertex ``vid``."""
+        return self.vertex(vid).label
+
+    def has_vertex(self, vid: int) -> bool:
+        """True iff ``vid`` is a query vertex."""
+        return vid in self._vertices
+
+    def vertices(self) -> list[QueryVertex]:
+        """All query vertices (insertion order)."""
+        return [self._vertices[v] for v in self._matching_order]
+
+    def vertex_ids(self) -> list[int]:
+        """All query vertex ids (insertion order)."""
+        return list(self._matching_order)
+
+    def edges(self) -> list[QueryEdge]:
+        """All query edges (insertion order)."""
+        return list(self._edges.values())
+
+    def edge_between(self, u: int, v: int) -> QueryEdge:
+        """The edge joining ``u`` and ``v``."""
+        key = canonical_edge(u, v)
+        edge = self._edges.get(key)
+        if edge is None:
+            raise QueryEdgeNotFoundError(u, v)
+        return edge
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is a query edge."""
+        return canonical_edge(u, v) in self._edges
+
+    def neighbors(self, vid: int) -> set[int]:
+        """Query vertices adjacent to ``vid`` (copy)."""
+        self._check_vertex(vid)
+        return set(self._adjacency[vid])
+
+    def incident_edges(self, vid: int) -> list[QueryEdge]:
+        """Edges incident to ``vid``."""
+        self._check_vertex(vid)
+        return [self.edge_between(vid, w) for w in sorted(self._adjacency[vid])]
+
+    @property
+    def matching_order(self) -> list[int]:
+        """``M`` — vertex ids in the order the user drew them (copy)."""
+        return list(self._matching_order)
+
+    # ------------------------------------------------------------------
+    # Structure predicates
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True iff the query graph is connected (vacuously for <= 1 vertex)."""
+        if self.num_vertices <= 1:
+            return True
+        start = self._matching_order[0]
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for w in self._adjacency[u]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == self.num_vertices
+
+    @property
+    def is_subgraph_iso_query(self) -> bool:
+        """True when every edge has default bounds ``[1, 1]``.
+
+        Such a BPH query is exactly an exact-subgraph-search query
+        (Section 4, "Generality of the framework").
+        """
+        return all(edge.bounds.is_default for edge in self._edges.values())
+
+    def validate(self) -> None:
+        """Check all invariants of a *complete* BPH query.
+
+        A query under construction may be temporarily disconnected; this is
+        invoked when the Run icon is clicked.
+        """
+        if self.num_vertices == 0:
+            raise QueryValidationError("query has no vertices")
+        if not self.is_connected():
+            raise QueryValidationError("BPH query must be connected")
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "BPHQuery":
+        """Deep copy (bounds objects are immutable and shared)."""
+        clone = BPHQuery(name=name or self.name)
+        for vid in self._matching_order:
+            clone.add_vertex(self._vertices[vid].label, vertex_id=vid)
+        for edge in self._edges.values():
+            clone.add_edge(edge.u, edge.v, edge.lower, edge.upper)
+        return clone
+
+    def _next_id(self) -> int:
+        return max(self._vertices, default=-1) + 1
+
+    def _check_vertex(self, vid: int) -> None:
+        if vid not in self._vertices:
+            raise QueryVertexNotFoundError(vid)
+
+    def __iter__(self) -> Iterator[QueryVertex]:
+        return iter(self.vertices())
+
+    def __repr__(self) -> str:
+        return (
+            f"BPHQuery(name={self.name!r}, |V_B|={self.num_vertices}, "
+            f"|E_B|={self.num_edges})"
+        )

@@ -1,0 +1,84 @@
+"""Result ranking for the Results Panel.
+
+The paper iterates results one small region at a time (Section 5.4); in
+practice users see the *best* matches first.  This module provides ranking
+schemes over validated :class:`ResultSubgraph` objects:
+
+* ``compactness`` — total matching-path length over all query edges
+  (shorter = tighter = first); the natural score for BPH results, where a
+  query edge may stretch into a path.
+* ``slack`` — total slack against the upper bounds (``Σ upper - length``,
+  larger-first means "safest" matches first, i.e. those furthest from the
+  bound that would prune them).
+* ``spread`` — diameter of the matched vertex set under oracle distances
+  (smaller first): matches living in one neighborhood read better on a
+  small-region display.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.context import EngineContext
+from repro.core.lowerbound import ResultSubgraph
+from repro.core.query import BPHQuery
+from repro.errors import ExperimentError
+
+__all__ = ["rank_results", "compactness_score", "slack_score", "spread_score", "RANKINGS"]
+
+
+def compactness_score(result: ResultSubgraph, query: BPHQuery, ctx: EngineContext) -> float:
+    """Total matching-path length (lower is better)."""
+    return float(sum(len(path) - 1 for path in result.paths.values()))
+
+
+def slack_score(result: ResultSubgraph, query: BPHQuery, ctx: EngineContext) -> float:
+    """Negative total slack vs. upper bounds (lower is better => most slack first)."""
+    slack = 0
+    for edge in query.edges():
+        slack += edge.upper - result.path_length(edge.u, edge.v)
+    return float(-slack)
+
+
+def spread_score(result: ResultSubgraph, query: BPHQuery, ctx: EngineContext) -> float:
+    """Diameter of the matched vertices under exact distances (lower first)."""
+    vertices = sorted(set(result.assignment.values()))
+    worst = 0
+    for i, u in enumerate(vertices):
+        for v in vertices[i + 1 :]:
+            d = ctx.oracle.distance(u, v)
+            if d > worst:
+                worst = d
+    return float(worst)
+
+
+RANKINGS = {
+    "compactness": compactness_score,
+    "slack": slack_score,
+    "spread": spread_score,
+}
+
+
+def rank_results(
+    results: Iterable[ResultSubgraph],
+    query: BPHQuery,
+    ctx: EngineContext,
+    scheme: str = "compactness",
+    limit: int | None = None,
+) -> list[ResultSubgraph]:
+    """Sort results by ``scheme`` (ascending score = better), optionally capped.
+
+    Ties break on the sorted assignment tuple, keeping the ordering
+    deterministic run to run.
+    """
+    try:
+        score = RANKINGS[scheme]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown ranking scheme {scheme!r}; known: {sorted(RANKINGS)}"
+        ) from None
+    ordered: Sequence[ResultSubgraph] = sorted(
+        results,
+        key=lambda r: (score(r, query, ctx), tuple(sorted(r.assignment.items()))),
+    )
+    return list(ordered[:limit] if limit is not None else ordered)

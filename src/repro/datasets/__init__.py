@@ -1,0 +1,21 @@
+"""Named dataset configurations with build caching."""
+
+from repro.datasets.registry import (
+    DatasetBundle,
+    DatasetConfig,
+    DATASET_NAMES,
+    SCALES,
+    dataset_config,
+    get_dataset,
+    clear_memory_cache,
+)
+
+__all__ = [
+    "DatasetBundle",
+    "DatasetConfig",
+    "DATASET_NAMES",
+    "SCALES",
+    "dataset_config",
+    "get_dataset",
+    "clear_memory_cache",
+]

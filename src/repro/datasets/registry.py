@@ -1,0 +1,205 @@
+"""Dataset registry: seeded, cached emulations of the paper's datasets.
+
+Three datasets — ``wordnet``, ``dblp``, ``flickr`` — at two scales:
+
+* ``tiny`` — seconds-fast builds for the test suite;
+* ``small`` — the default benchmark scale.
+
+Scaling rules (DESIGN.md, substitution table):
+
+* |V| shrinks to a few percent of the paper's datasets (pure-Python PML
+  cannot hold the originals interactively);
+* the label alphabet shrinks *with* |V| so that the per-label candidate-set
+  size |V_q| keeps its paper-relative magnitude — |V_q| (together with the
+  scaled GUI latency) is what the expensive-edge predicate of Def. 5.8
+  actually sees, so preserving it preserves which edges get deferred:
+  WordNet's noun level is enormous (always expensive), DBLP levels are
+  borderline (expensive at upper >= 3), Flickr levels are tiny (never
+  expensive);
+* GUI latency constants shrink by ``latency_scale``, mirroring that
+  compute costs shrank with the graphs.
+
+Preprocessing (PML + 2-hop counts + t_avg) is expensive enough to cache:
+an in-process memo plus an on-disk pickle cache (``~/.cache/repro-boomer``
+or ``$REPRO_CACHE_DIR``) keyed by the full configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.context import EngineContext
+from repro.core.cost import GUILatencyConstants
+from repro.core.preprocessor import PreprocessResult, make_context, preprocess
+from repro.errors import DatasetError
+from repro.graph.generators import dblp_like, flickr_like, wordnet_like
+from repro.graph.graph import Graph
+
+__all__ = [
+    "DatasetConfig",
+    "DatasetBundle",
+    "DATASET_NAMES",
+    "SCALES",
+    "dataset_config",
+    "get_dataset",
+    "clear_memory_cache",
+]
+
+DATASET_NAMES = ("wordnet", "dblp", "flickr")
+SCALES = ("tiny", "small")
+
+_CACHE_VERSION = 1
+_memory_cache: dict[tuple, "DatasetBundle"] = {}
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Fully pinned-down recipe for one dataset at one scale."""
+
+    name: str
+    scale: str
+    num_vertices: int
+    num_labels: int | None  # None = the generator's own labeling (wordnet)
+    seed: int
+    latency_scale: float
+
+    @property
+    def cache_key(self) -> str:
+        """Stable string identifying this configuration on disk."""
+        return (
+            f"{self.name}-{self.scale}-n{self.num_vertices}"
+            f"-l{self.num_labels}-s{self.seed}-v{_CACHE_VERSION}"
+        )
+
+
+#: (name, scale) -> (num_vertices, num_labels, latency_scale).
+#: Label counts follow the per-label-density rule explained in the module
+#: docstring; latency scales shrink t_lat so the expensive/inexpensive
+#: boundary lands on the same datasets as in the paper.
+_PRESETS: dict[tuple[str, str], tuple[int, int | None, float]] = {
+    ("wordnet", "tiny"): (350, None, 0.02),
+    # Latency scales are calibrated so that the expensive-edge cost /
+    # formulation-time ratio lands in the paper's regime (their WordNet Q2:
+    # ~347s of e1 work vs ~28s of QFT, ratio ~12).  Pure-Python compute on
+    # the emulated graphs is faster relative to the paper's testbed, so the
+    # latency shrinks harder than |V| does.
+    ("wordnet", "small"): (2400, None, 0.02),
+    ("dblp", "tiny"): (500, 4, 0.02),
+    # dblp's latency scale is tighter than wordnet's: its per-label
+    # candidate sets are ~5x smaller (paper ratio), so for its expensive
+    # edges to overflow formulation latency — the regime Figs. 7/8 show on
+    # DBLP — the latency window must shrink accordingly.
+    ("dblp", "small"): (6000, 18, 0.03),
+    ("flickr", "tiny"): (700, 22, 0.02),
+    ("flickr", "small"): (9000, 280, 0.1),
+}
+
+
+def dataset_config(name: str, scale: str = "small") -> DatasetConfig:
+    """The registry's configuration for ``(name, scale)``."""
+    key = (name.lower(), scale.lower())
+    if key not in _PRESETS:
+        raise DatasetError(
+            f"unknown dataset/scale {key}; datasets: {DATASET_NAMES}, "
+            f"scales: {SCALES}"
+        )
+    n, labels, latency_scale = _PRESETS[key]
+    return DatasetConfig(
+        name=key[0],
+        scale=key[1],
+        num_vertices=n,
+        num_labels=labels,
+        seed=42,
+        latency_scale=latency_scale,
+    )
+
+
+@dataclass
+class DatasetBundle:
+    """A built dataset: graph + preprocessing + scaled latency constants."""
+
+    config: DatasetConfig
+    graph: Graph
+    pre: PreprocessResult
+    latency: GUILatencyConstants
+
+    def make_context(self, oracle=None) -> EngineContext:
+        """Fresh :class:`EngineContext` (fresh counters, shared index)."""
+        return make_context(self.pre, latency=self.latency, oracle=oracle)
+
+    @property
+    def name(self) -> str:
+        """Dataset name (``wordnet`` / ``dblp`` / ``flickr``)."""
+        return self.config.name
+
+
+def _build_graph(config: DatasetConfig) -> Graph:
+    if config.name == "wordnet":
+        return wordnet_like(config.num_vertices, seed=config.seed)
+    if config.name == "dblp":
+        return dblp_like(
+            config.num_vertices, seed=config.seed, num_labels=config.num_labels or 100
+        )
+    if config.name == "flickr":
+        return flickr_like(
+            config.num_vertices, seed=config.seed, num_labels=config.num_labels or 3000
+        )
+    raise DatasetError(f"no generator for dataset {config.name!r}")
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-boomer"
+
+
+def get_dataset(
+    name: str, scale: str = "small", use_disk_cache: bool = True
+) -> DatasetBundle:
+    """Build (or load from cache) the dataset bundle for ``(name, scale)``.
+
+    Generation + preprocessing is deterministic given the config, so cache
+    hits are exact replicas of fresh builds.
+    """
+    config = dataset_config(name, scale)
+    memo_key = (config.cache_key,)
+    if memo_key in _memory_cache:
+        return _memory_cache[memo_key]
+
+    cache_path = _cache_dir() / f"{config.cache_key}.pkl"
+    pre: PreprocessResult | None = None
+    if use_disk_cache and cache_path.exists():
+        try:
+            with cache_path.open("rb") as handle:
+                pre = pickle.load(handle)
+        except Exception:  # corrupt cache: rebuild silently
+            pre = None
+
+    if pre is None:
+        graph = _build_graph(config)
+        pre = preprocess(graph, seed=config.seed)
+        if use_disk_cache:
+            try:
+                cache_path.parent.mkdir(parents=True, exist_ok=True)
+                with cache_path.open("wb") as handle:
+                    pickle.dump(pre, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            except OSError:
+                pass  # read-only filesystems just skip the disk cache
+
+    bundle = DatasetBundle(
+        config=config,
+        graph=pre.graph,
+        pre=pre,
+        latency=GUILatencyConstants().scaled(config.latency_scale),
+    )
+    _memory_cache[memo_key] = bundle
+    return bundle
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process bundles (tests use this to force rebuild paths)."""
+    _memory_cache.clear()

@@ -1,0 +1,154 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the failure domain (graph construction, query
+validation, index usage, ...) when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphBuildError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "GraphIOError",
+    "QueryError",
+    "QueryValidationError",
+    "QueryVertexNotFoundError",
+    "QueryEdgeNotFoundError",
+    "BoundsError",
+    "IndexError_",
+    "IndexNotBuiltError",
+    "CAPError",
+    "CAPStateError",
+    "SessionError",
+    "ActionError",
+    "DatasetError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+# --------------------------------------------------------------------------
+# Graph substrate
+# --------------------------------------------------------------------------
+class GraphError(ReproError):
+    """Base class for graph-substrate failures."""
+
+
+class GraphBuildError(GraphError):
+    """Raised when a graph cannot be assembled from the provided pieces.
+
+    Typical causes: self loops, parallel edges in simple-graph mode, labels
+    missing for some vertices, or inconsistent vertex ids.
+    """
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex id the graph lacks."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge the graph lacks."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class GraphIOError(GraphError):
+    """Raised when a graph cannot be parsed from or serialized to a file."""
+
+
+# --------------------------------------------------------------------------
+# BPH query model
+# --------------------------------------------------------------------------
+class QueryError(ReproError):
+    """Base class for BPH-query failures."""
+
+
+class QueryValidationError(QueryError):
+    """Raised when a BPH query violates a structural invariant.
+
+    BPH queries must be simple, connected, undirected graphs whose edges
+    carry bounds ``[lower, upper]`` with ``1 <= lower <= upper``.
+    """
+
+
+class QueryVertexNotFoundError(QueryError, KeyError):
+    """Raised when a query-vertex id is referenced but absent."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"query vertex {vertex!r} is not in the query")
+        self.vertex = vertex
+
+
+class QueryEdgeNotFoundError(QueryError, KeyError):
+    """Raised when a query-edge is referenced but absent."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"query edge ({u!r}, {v!r}) is not in the query")
+        self.edge = (u, v)
+
+
+class BoundsError(QueryError, ValueError):
+    """Raised for malformed ``[lower, upper]`` path-length bounds."""
+
+
+# --------------------------------------------------------------------------
+# Indexes (PML, CAP)
+# --------------------------------------------------------------------------
+class IndexError_(ReproError):
+    """Base class for index failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class IndexNotBuiltError(IndexError_):
+    """Raised when an index is queried before :meth:`build` completed."""
+
+
+class CAPError(ReproError):
+    """Base class for CAP-index failures."""
+
+
+class CAPStateError(CAPError):
+    """Raised when a CAP operation is invalid for the index's current state.
+
+    Example: processing a query edge whose endpoints have not been added,
+    or enumerating results while unprocessed edges remain in the pool.
+    """
+
+
+# --------------------------------------------------------------------------
+# Visual session / actions
+# --------------------------------------------------------------------------
+class SessionError(ReproError):
+    """Base class for visual-session failures."""
+
+
+class ActionError(SessionError):
+    """Raised for malformed or out-of-order GUI actions."""
+
+
+# --------------------------------------------------------------------------
+# Datasets / experiments
+# --------------------------------------------------------------------------
+class DatasetError(ReproError):
+    """Raised when a named dataset configuration cannot be materialized."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

@@ -1,0 +1,42 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Importing this package registers all experiments; use
+:func:`get_experiment`/:data:`EXPERIMENT_REGISTRY` or the CLI::
+
+    python -m repro.experiments list
+    python -m repro.experiments run exp3 --scale tiny
+    python -m repro.experiments all --scale small --out EXPERIMENTS.md
+"""
+
+from repro.experiments.harness import (
+    EXPERIMENT_REGISTRY,
+    Experiment,
+    ExperimentTable,
+    ScaleSettings,
+    get_experiment,
+    scale_settings,
+)
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    exp1_pvs_strategies,
+    exp2_pruning,
+    exp3_strategies,
+    exp4_upper_bound,
+    exp5_lower_bound,
+    exp6_modification,
+    exp7_qfs,
+    exp8_ablations,
+    exp9_users,
+    exp10_result_sizes,
+)
+from repro.experiments.report import render_markdown, write_report
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "Experiment",
+    "ExperimentTable",
+    "ScaleSettings",
+    "get_experiment",
+    "scale_settings",
+    "render_markdown",
+    "write_report",
+]

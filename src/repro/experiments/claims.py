@@ -1,0 +1,198 @@
+"""Programmatic verdicts for the paper's qualitative claims.
+
+Each claim checker receives the regenerated tables (artifact -> table) and
+returns a :class:`ClaimVerdict`.  ``write_report`` appends the verdict
+section to EXPERIMENTS.md, so the paper-vs-measured record carries explicit
+PASS/FAIL marks instead of leaving shape-reading to the reader.  The same
+predicates are asserted (with the same thresholds) by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.experiments.harness import ExperimentTable
+
+__all__ = ["ClaimVerdict", "evaluate_claims", "render_claims"]
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """Outcome of checking one paper claim against regenerated tables."""
+
+    claim_id: str
+    artifact: str
+    statement: str
+    passed: bool | None  # None = required table not in this run
+    detail: str = ""
+
+
+def _numeric(values) -> list[float]:
+    return [float(v) for v in values if isinstance(v, (int, float))]
+
+
+def _column(table: ExperimentTable, header: str) -> list:
+    idx = table.headers.index(header)
+    return [row[idx] for row in table.rows]
+
+
+def _rows(table: ExperimentTable, **filters) -> list[list]:
+    idx = {table.headers.index(k): v for k, v in filters.items()}
+    return [r for r in table.rows if all(r[i] == v for i, v in idx.items())]
+
+
+def _check_fig5(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    table = tables["Figure 5"]
+    three = sum(_numeric(_column(table, "3-strategy SRT (ms)")))
+    one = sum(_numeric(_column(table, "1-strategy SRT (ms)")))
+    return three < one, f"aggregate SRT {three:.1f}ms vs {one:.1f}ms"
+
+
+def _check_fig6(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    srt = tables["Figure 6(a)"]
+    size = tables["Figure 6(b)"]
+    srt_ok = sum(_numeric(_column(srt, "pruning SRT (ms)"))) < sum(
+        _numeric(_column(srt, "no-pruning SRT (ms)"))
+    )
+    sizes_p = _numeric(_column(size, "pruning size"))
+    sizes_n = _numeric(_column(size, "no-pruning size"))
+    size_ok = all(p <= n for p, n in zip(sizes_p, sizes_n))
+    return srt_ok and size_ok, f"SRT ok={srt_ok}, size ok={size_ok}"
+
+
+def _check_fig7(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    table = tables["Figure 7"]
+    details = []
+    ok = True
+    for dataset in ("wordnet", "dblp"):
+        rows = _rows(table, dataset=dataset)
+        bu_cells = [r[table.headers.index("BU (ms)")] for r in rows]
+        di = sum(_numeric([r[table.headers.index("DI (ms)")] for r in rows]))
+        ic = sum(_numeric([r[table.headers.index("IC (ms)")] for r in rows]))
+        dr = sum(_numeric([r[table.headers.index("DR (ms)")] for r in rows]))
+        dnfs = sum(1 for c in bu_cells if c == "DNF")
+        bu_dominated = dnfs > 0 or sum(_numeric(bu_cells)) > 5 * di
+        deferment_wins = dr < ic and di < ic
+        ok = ok and bu_dominated and deferment_wins
+        details.append(
+            f"{dataset}: BU DNFs={dnfs}, IC={ic:.0f}ms DR={dr:.0f}ms DI={di:.0f}ms"
+        )
+    return ok, "; ".join(details)
+
+
+def _check_fig8(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    table = tables["Figure 8"]
+    rows = _rows(table, dataset="wordnet")
+    ic = sum(_numeric([r[table.headers.index("IC (ms)")] for r in rows]))
+    dr = sum(_numeric([r[table.headers.index("DR (ms)")] for r in rows]))
+    return dr < ic, f"wordnet CAP time IC={ic:.0f}ms DR={dr:.0f}ms"
+
+
+def _check_fig9(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    table = tables["Figure 9"]
+    rows = _rows(table, dataset="wordnet")
+    ic = sum(_numeric([r[table.headers.index("IC peak")] for r in rows]))
+    dr = sum(_numeric([r[table.headers.index("DR peak")] for r in rows]))
+    return dr < ic, f"wordnet peak IC={ic:.0f} DR={dr:.0f}"
+
+
+def _check_fig10_11(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    cap = tables["Figure 10"]
+    srt = tables["Figure 11"]
+    # growth + flattening on dblp Q2 (IC)
+    rows = sorted(
+        _rows(cap, dataset="dblp", query="Q2"),
+        key=lambda r: r[cap.headers.index("upper")],
+    )
+    series = _numeric([r[cap.headers.index("IC (ms)")] for r in rows])
+    grows = series[-1] > series[0]
+    flattens = (
+        len(series) >= 3
+        and (series[-1] - series[-2]) <= (series[1] - series[0])
+    )
+    bu_cells = _column(srt, "BU (ms)")
+    di_total = sum(_numeric(_column(srt, "DI (ms)")))
+    dnfs = sum(1 for c in bu_cells if c == "DNF")
+    bu_dominated = dnfs > 0 or sum(_numeric(bu_cells)) > 5 * di_total
+    return grows and flattens and bu_dominated, (
+        f"dblp/Q2 IC series {['%.0f' % s for s in series]}, BU DNFs={dnfs}"
+    )
+
+
+def _check_fig14(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    table = tables["Figure 14"]
+    worst = max(_numeric(_column(table, "avg check (ms)")), default=0.0)
+    return worst < 5000, f"worst per-result check {worst:.1f}ms (budget 5000ms)"
+
+
+def _check_table1(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    table = tables["Table 1"]
+    tighten, loosen = [], []
+    for i, header in enumerate(table.headers):
+        for row in table.rows:
+            if isinstance(row[i], (int, float)):
+                if header.startswith("tighten"):
+                    tighten.append(float(row[i]))
+                elif header.startswith("loosen"):
+                    loosen.append(float(row[i]))
+    ok = bool(tighten and loosen) and (
+        sum(tighten) / len(tighten) < sum(loosen) / len(loosen)
+    )
+    return ok, (
+        f"mean tighten {sum(tighten) / max(len(tighten), 1):.1f}ms vs "
+        f"mean loosen {sum(loosen) / max(len(loosen), 1):.1f}ms"
+    )
+
+
+def _check_qfs(tables: Mapping[str, ExperimentTable]) -> tuple[bool, str]:
+    table = tables["Figure 16"]
+    ic = _numeric([r[table.headers.index("IC")] for r in _rows(table, dataset="wordnet")])
+    dr = _numeric([r[table.headers.index("DR")] for r in _rows(table, dataset="wordnet")])
+    ic_spread = max(ic) / max(min(ic), 1e-9)
+    dr_spread = max(dr) / max(min(dr), 1e-9)
+    ok = max(ic) > max(dr) or ic_spread > dr_spread
+    return ok, f"IC spread {ic_spread:.1f}x vs DR spread {dr_spread:.1f}x"
+
+
+_CHECKS: list[tuple[str, str, str, Callable]] = [
+    ("C1", "Figure 5", "3-strategy PVS beats forced large-upper-only under IC", _check_fig5),
+    ("C2", "Figure 6(a)", "pruning shrinks both SRT and CAP size", _check_fig6),
+    ("C3", "Figure 7", "BU >> blended; deferment beats IC on WordNet/DBLP", _check_fig7),
+    ("C4", "Figure 8", "deferment shrinks CAP construction time on WordNet", _check_fig8),
+    ("C5", "Figure 9", "deferment shrinks peak CAP size on WordNet", _check_fig9),
+    ("C6", "Figure 10", "cost grows with the upper bound then flattens; all << BU", _check_fig10_11),
+    ("C7", "Figure 14", "lower-bound check well under the 5s budget", _check_fig14),
+    ("C8", "Table 1", "tighten is far cheaper than loosen", _check_table1),
+    ("C9", "Figure 16", "IC is QFS-sensitive; deferment is not", _check_qfs),
+]
+
+
+def evaluate_claims(tables: Mapping[str, ExperimentTable]) -> list[ClaimVerdict]:
+    """Check every claim whose artifact tables are present."""
+    verdicts: list[ClaimVerdict] = []
+    for claim_id, artifact, statement, check in _CHECKS:
+        try:
+            passed, detail = check(tables)
+        except KeyError:
+            verdicts.append(
+                ClaimVerdict(claim_id, artifact, statement, None, "table not in this run")
+            )
+            continue
+        verdicts.append(ClaimVerdict(claim_id, artifact, statement, passed, detail))
+    return verdicts
+
+
+def render_claims(verdicts: list[ClaimVerdict]) -> str:
+    """Markdown verdict section."""
+    lines = ["## Claim verdicts", ""]
+    lines.append("| claim | artifact | statement | verdict | evidence |")
+    lines.append("|---|---|---|---|---|")
+    for verdict in verdicts:
+        mark = "—" if verdict.passed is None else ("PASS" if verdict.passed else "FAIL")
+        lines.append(
+            f"| {verdict.claim_id} | {verdict.artifact} | {verdict.statement} "
+            f"| {mark} | {verdict.detail} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

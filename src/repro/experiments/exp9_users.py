@@ -1,0 +1,94 @@
+"""Exp 9 (reproduction extra) — robustness across simulated users.
+
+The paper's numbers average four human formulations per query (Sec. 7.1),
+with participants of different speeds ("the faster a user formulates a
+query, the lesser time BOOMER has for CAP construction").  This experiment
+makes that sensitivity explicit: the same query is formulated by a panel
+of simulated users spanning speed multipliers and per-step jitter, and the
+SRT spread per strategy is reported.
+
+Expected shape: deferment strategies are robust — their SRT barely moves
+with user speed (the pool drains at Run regardless) — while Immediate
+construction degrades for *fast* users, who give the engine less latency
+to hide expensive edges in (its backlog grows as speed drops below 1).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp3_strategies import exp3_instance
+from repro.experiments.harness import (
+    Experiment,
+    ExperimentTable,
+    register_experiment,
+    scale_settings,
+)
+from repro.gui.session import VisualSession
+
+__all__ = ["Exp9Users"]
+
+#: speed multiplier > 1 = slower user = more latency for the engine.
+SPEEDS = (0.5, 1.0, 2.0)
+JITTER = 0.15
+USERS_PER_SPEED = 2  # paper: 4 users per query across all speeds
+
+
+@register_experiment
+class Exp9Users(Experiment):
+    """SRT across simulated user speeds (reproduction extra)."""
+
+    id = "exp9"
+    title = "SRT robustness across simulated user speeds"
+    artifacts = ("User panel",)
+    dataset = "wordnet"
+    template = "Q1"
+
+    def run(self, scale: str = "small") -> list[ExperimentTable]:
+        settings = scale_settings(scale)
+        bundle = get_dataset(self.dataset, scale)
+        instance = exp3_instance(self.dataset, self.template, bundle.graph)
+        rows: list[list[object]] = []
+        for strategy in ("IC", "DR", "DI"):
+            for speed in SPEEDS:
+                srts: list[float] = []
+                for user in range(USERS_PER_SPEED):
+                    session = VisualSession(
+                        bundle.make_context(),
+                        bundle.latency,
+                        jitter=JITTER,
+                        speed=speed,
+                        seed=100 + user,
+                    )
+                    result = session.run(
+                        instance,
+                        strategy=strategy,
+                        max_results=settings.max_results,
+                    )
+                    srts.append(result.srt_seconds)
+                rows.append(
+                    [
+                        strategy,
+                        speed,
+                        round(statistics.fmean(srts) * 1e3, 3),
+                        round(min(srts) * 1e3, 3),
+                        round(max(srts) * 1e3, 3),
+                    ]
+                )
+        return [
+            ExperimentTable(
+                experiment=self.id,
+                artifact="User panel",
+                title=(
+                    f"SRT vs user speed ({self.template}@{self.dataset}, "
+                    f"{USERS_PER_SPEED} users/speed, jitter {JITTER})"
+                ),
+                headers=["strategy", "speed", "mean SRT (ms)", "min (ms)", "max (ms)"],
+                rows=rows,
+                notes=[
+                    "speed < 1 = faster user = less GUI latency available",
+                    "expected: IC degrades for fast users; DR/DI stay flat",
+                ],
+            )
+        ]

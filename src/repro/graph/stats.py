@@ -1,0 +1,62 @@
+"""Descriptive statistics over data graphs.
+
+Used by the dataset registry to report what was generated (so EXPERIMENTS.md
+can show paper-vs-emulated dataset properties) and by tests asserting that
+the emulators hit their density/label targets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["GraphStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a data graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    density_ratio: float  # |E| / |V|
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    num_labels: int
+    top_label_share: float  # frequency of the most common label
+    label_histogram: dict[object, int] = field(hash=False, default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: |V|={self.num_vertices:,} |E|={self.num_edges:,} "
+            f"(|E|/|V|={self.density_ratio:.2f}) deg∈[{self.min_degree},"
+            f"{self.max_degree}] mean={self.mean_degree:.2f} "
+            f"labels={self.num_labels} top-share={self.top_label_share:.2f}"
+        )
+
+
+def compute_stats(graph: Graph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees = graph.degree_array()
+    histogram = Counter(graph.label(v) for v in graph.iter_vertices())
+    n = graph.num_vertices
+    top_share = (max(histogram.values()) / n) if histogram and n else 0.0
+    return GraphStats(
+        name=graph.name,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        density_ratio=(graph.num_edges / n) if n else 0.0,
+        min_degree=int(degrees.min()) if n else 0,
+        max_degree=int(degrees.max()) if n else 0,
+        mean_degree=float(np.mean(degrees)) if n else 0.0,
+        num_labels=len(histogram),
+        top_label_share=top_share,
+        label_histogram=dict(histogram),
+    )

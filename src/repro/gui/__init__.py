@@ -1,0 +1,37 @@
+"""Simulated visual query interface.
+
+The paper's user study had 20 volunteers formulating queries on a real GUI;
+what the *engine* observes is only the stream of semantic actions and the
+time gaps between them.  This package substitutes the humans with a
+deterministic simulator (per DESIGN.md's substitution table): a latency
+model of the visual steps (Section 3.2 / 5.3) drives a
+:class:`SimulatedUser` that turns a query specification into a timed
+:class:`~repro.core.actions.ActionStream`, and :class:`VisualSession` runs
+it against a :class:`~repro.core.blender.Boomer` instance end-to-end.
+"""
+
+from repro.gui.latency import LatencyModel
+from repro.gui.panels import InterfaceSession
+from repro.gui.recording import (
+    action_from_dict,
+    action_to_dict,
+    load_actions,
+    save_actions,
+)
+from repro.gui.render import to_dot, to_text
+from repro.gui.simulator import SimulatedUser
+from repro.gui.session import VisualSession, SessionResult
+
+__all__ = [
+    "LatencyModel",
+    "InterfaceSession",
+    "SimulatedUser",
+    "VisualSession",
+    "SessionResult",
+    "to_dot",
+    "to_text",
+    "action_from_dict",
+    "action_to_dict",
+    "load_actions",
+    "save_actions",
+]

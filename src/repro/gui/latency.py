@@ -1,0 +1,100 @@
+"""GUI latency model.
+
+Section 3.2 decomposes visual query formulation into steps, and Section 5.3
+assigns each a duration:
+
+* drawing a **vertex** = move cursor (t_m) + scan & select a label (t_s) +
+  drag-and-drop (t_d)  →  ``T_node = t_m + t_s + t_d``;
+* drawing an **edge** = click endpoints (t_e) + optionally fill the bounds
+  combo box (t_b)  →  ``T_edge = t_e [+ t_b]``.
+
+The paper measured ``t_e ≈ 2 s`` across participants and derived
+``t_lat = min(T_node, T_edge) = t_e``.  The model reproduces those means
+(scaled with the dataset, see :class:`GUILatencyConstants`) plus a small
+seeded log-normal jitter so different simulated users formulate at
+different speeds, like the study's participants did.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.actions import Action, DeleteEdge, ModifyBounds, NewEdge, NewVertex, Run
+from repro.core.cost import GUILatencyConstants
+from repro.utils.rng import seeded_rng
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Samples the duration of each visual formulation step.
+
+    Parameters
+    ----------
+    constants:
+        Mean step durations (possibly scaled).
+    jitter:
+        Relative log-normal spread; 0 disables randomness entirely (every
+        step takes exactly its mean — used by deterministic tests).
+    speed:
+        Per-user multiplier (>1 = slower user = more GUI latency for the
+        engine; <1 = faster user = tighter deadlines).
+    """
+
+    def __init__(
+        self,
+        constants: GUILatencyConstants | None = None,
+        jitter: float = 0.15,
+        speed: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if speed <= 0:
+            raise ValueError("speed must be > 0")
+        self.constants = constants or GUILatencyConstants()
+        self.jitter = jitter
+        self.speed = speed
+        self._rng = seeded_rng(seed)
+
+    def _sample(self, mean: float) -> float:
+        if mean <= 0:
+            return 0.0
+        value = mean * self.speed
+        if self.jitter > 0:
+            sigma = math.sqrt(math.log(1.0 + self.jitter**2))
+            value *= self._rng.lognormvariate(-0.5 * sigma * sigma, sigma)
+        return value
+
+    # ------------------------------------------------------------------
+    def vertex_time(self) -> float:
+        """Duration of drawing one vertex (``T_node``)."""
+        return self._sample(self.constants.t_vertex)
+
+    def edge_time(self, default_bounds: bool) -> float:
+        """Duration of drawing one edge (``T_edge``); bounds entry included
+        only when the bounds differ from the default ``[1, 1]``."""
+        mean = self.constants.t_edge
+        if not default_bounds:
+            mean += self.constants.t_bounds
+        return self._sample(mean)
+
+    def modify_time(self) -> float:
+        """Duration of a bound-modification or edge-deletion interaction."""
+        return self._sample(self.constants.t_bounds + self.constants.t_move)
+
+    def run_click_time(self) -> float:
+        """Time to move to and click the Run icon."""
+        return self._sample(self.constants.t_move)
+
+    def action_time(self, action: Action) -> float:
+        """Duration of performing ``action`` visually."""
+        if isinstance(action, NewVertex):
+            return self.vertex_time()
+        if isinstance(action, NewEdge):
+            return self.edge_time(action.lower == 1 and action.upper == 1)
+        if isinstance(action, (ModifyBounds, DeleteEdge)):
+            return self.modify_time()
+        if isinstance(action, Run):
+            return self.run_click_time()
+        raise TypeError(f"unknown action {action!r}")

@@ -1,0 +1,131 @@
+"""Recording and replaying formulation sessions.
+
+The paper's performance methodology leans on simulated formulation
+sequences (it cites VISUAL [3], a simulator built exactly to replay visual
+query formulation for benchmarking).  This module gives the reproduction
+the same capability: any timed action stream — simulated or captured from
+a real interface — can be serialized to JSON and replayed later against
+any engine configuration, making session traces portable benchmark
+artifacts.
+
+Format (one JSON object)::
+
+    {"version": 1,
+     "actions": [
+        {"kind": "NewVertex", "vertex_id": 0, "label": "A", "latency_after": 2.1},
+        {"kind": "NewEdge", "u": 0, "v": 1, "lower": 1, "upper": 2, ...},
+        {"kind": "ModifyBounds", ...}, {"kind": "DeleteEdge", ...},
+        {"kind": "Run"}]}
+
+Labels are serialized as-is when JSON-native (str/int/float/bool) — other
+label types are rejected rather than silently stringified.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.actions import (
+    Action,
+    DeleteEdge,
+    ModifyBounds,
+    NewEdge,
+    NewVertex,
+    Run,
+)
+from repro.errors import ActionError
+
+__all__ = ["action_to_dict", "action_from_dict", "save_actions", "load_actions"]
+
+_FORMAT_VERSION = 1
+_JSON_LABEL_TYPES = (str, int, float, bool)
+
+
+def action_to_dict(action: Action) -> dict:
+    """Serialize one action to a JSON-compatible dict."""
+    base: dict = {"kind": action.kind}
+    if action.latency_after is not None:
+        base["latency_after"] = action.latency_after
+    if isinstance(action, NewVertex):
+        if not isinstance(action.label, _JSON_LABEL_TYPES):
+            raise ActionError(
+                f"label {action.label!r} is not JSON-serializable; "
+                "recordings support str/int/float/bool labels"
+            )
+        base.update(vertex_id=action.vertex_id, label=action.label)
+    elif isinstance(action, NewEdge):
+        base.update(u=action.u, v=action.v, lower=action.lower, upper=action.upper)
+    elif isinstance(action, ModifyBounds):
+        base.update(u=action.u, v=action.v, lower=action.lower, upper=action.upper)
+    elif isinstance(action, DeleteEdge):
+        base.update(u=action.u, v=action.v)
+    elif isinstance(action, Run):
+        pass
+    else:
+        raise ActionError(f"cannot serialize action {action!r}")
+    return base
+
+
+def action_from_dict(payload: dict) -> Action:
+    """Deserialize one action dict."""
+    try:
+        kind = payload["kind"]
+        latency = payload.get("latency_after")
+        if kind == "NewVertex":
+            return NewVertex(
+                vertex_id=int(payload["vertex_id"]),
+                label=payload["label"],
+                latency_after=latency,
+            )
+        if kind == "NewEdge":
+            return NewEdge(
+                u=int(payload["u"]),
+                v=int(payload["v"]),
+                lower=int(payload.get("lower", 1)),
+                upper=int(payload.get("upper", 1)),
+                latency_after=latency,
+            )
+        if kind == "ModifyBounds":
+            return ModifyBounds(
+                u=int(payload["u"]),
+                v=int(payload["v"]),
+                lower=int(payload["lower"]),
+                upper=int(payload["upper"]),
+                latency_after=latency,
+            )
+        if kind == "DeleteEdge":
+            return DeleteEdge(
+                u=int(payload["u"]), v=int(payload["v"]), latency_after=latency
+            )
+        if kind == "Run":
+            return Run(latency_after=latency)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ActionError(f"malformed action payload {payload!r}: {exc}") from exc
+    raise ActionError(f"unknown action kind {kind!r}")
+
+
+def save_actions(actions: Sequence[Action], path: str | Path) -> None:
+    """Write a session recording to ``path``."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "actions": [action_to_dict(a) for a in actions],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_actions(path: str | Path) -> list[Action]:
+    """Read a session recording from ``path``."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ActionError(f"cannot read recording at {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "actions" not in payload:
+        raise ActionError(f"{path} is not a session recording")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ActionError(
+            f"unsupported recording version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    return [action_from_dict(item) for item in payload["actions"]]

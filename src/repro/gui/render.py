@@ -1,0 +1,85 @@
+"""Rendering result subgraphs for the Results Panel.
+
+BOOMER displays each match on a *small region* of the network (Section 5.4)
+rather than overlaying the full hairball.  This module renders a validated
+:class:`ResultSubgraph` (plus its halo region) as:
+
+* Graphviz DOT (``to_dot``) — matched vertices highlighted, matching paths
+  drawn bold, halo context dimmed; paste into any DOT viewer;
+* a plain-text adjacency sketch (``to_text``) for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from repro.core.lowerbound import ResultSubgraph
+from repro.core.query import BPHQuery
+from repro.graph.graph import Graph
+
+__all__ = ["to_dot", "to_text"]
+
+
+def _path_edges(result: ResultSubgraph) -> set[tuple[int, int]]:
+    edges: set[tuple[int, int]] = set()
+    for path in result.paths.values():
+        for a, b in zip(path, path[1:]):
+            edges.add((a, b) if a <= b else (b, a))
+    return edges
+
+
+def to_dot(
+    result: ResultSubgraph,
+    graph: Graph,
+    query: BPHQuery | None = None,
+    radius: int = 1,
+) -> str:
+    """Graphviz DOT for one match and its ``radius``-hop halo.
+
+    Matched vertices are filled and labeled ``q<i>: <label>``; vertices on
+    matching paths are outlined; halo vertices are dimmed; matching-path
+    edges are bold.
+    """
+    region, mapping = result.region(graph, radius=radius)
+    matched = {v: q for q, v in result.assignment.items()}
+    on_path = result.vertices
+    path_edges = _path_edges(result)
+
+    lines = ["graph match {", "  node [shape=circle fontsize=10];"]
+    for orig, new in mapping.items():
+        label = graph.label(orig)
+        if orig in matched:
+            q = matched[orig]
+            qlabel = f"q{q}: {label}" if query is None else f"q{q}: {query.label(q)}"
+            lines.append(
+                f'  n{new} [label="{qlabel}\\n v{orig}" style=filled '
+                f"fillcolor=lightblue];"
+            )
+        elif orig in on_path:
+            lines.append(
+                f'  n{new} [label="{label}\\n v{orig}" style=bold];'
+            )
+        else:
+            lines.append(
+                f'  n{new} [label="{label}\\n v{orig}" color=gray fontcolor=gray];'
+            )
+    reverse = {new: orig for orig, new in mapping.items()}
+    for u, v in region.iter_edges():
+        orig_u, orig_v = reverse[u], reverse[v]
+        key = (orig_u, orig_v) if orig_u <= orig_v else (orig_v, orig_u)
+        if key in path_edges:
+            lines.append(f"  n{u} -- n{v} [penwidth=2.5];")
+        else:
+            lines.append(f"  n{u} -- n{v} [color=gray];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(result: ResultSubgraph, graph: Graph, query: BPHQuery | None = None) -> str:
+    """Terminal-friendly description of one match."""
+    lines = ["match:"]
+    for q, v in sorted(result.assignment.items()):
+        qlabel = query.label(q) if query is not None else graph.label(v)
+        lines.append(f"  q{q} ({qlabel}) -> v{v} ({graph.label(v)})")
+    for (u, v), path in sorted(result.paths.items()):
+        chain = " - ".join(f"v{x}" for x in path)
+        lines.append(f"  edge (q{u}, q{v}): {chain}  [length {len(path) - 1}]")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Distance-oracle abstraction.
+
+The BOOMER framework "is orthogonal to the choice of exact shortest-path
+distance computation technique" (paper, footnote 5): any oracle exposing
+``distance``/``within`` can be plugged into the CAP machinery.  This module
+defines that protocol plus two implementations used beside PML:
+
+* :class:`BFSOracle` — plain per-source BFS with memoization; the reference
+  oracle for correctness tests and the "no index" arm of the PML ablation.
+* :class:`CountingOracle` — a wrapper counting/delegating queries, used by
+  experiments to report how many distance queries each strategy issues.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.graph.algorithms import bfs_distances
+from repro.graph.graph import Graph
+
+__all__ = ["DistanceOracle", "BFSOracle", "CountingOracle"]
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """Anything that answers exact shortest-path distance queries."""
+
+    def distance(self, u: int, v: int) -> int:
+        """Exact ``dist(u, v)``; ``-1`` when disconnected."""
+        ...
+
+    def within(self, u: int, v: int, upper: int) -> bool:
+        """True iff ``0 <= dist(u, v) <= upper``."""
+        ...
+
+
+class BFSOracle:
+    """Exact distances via memoized single-source BFS.
+
+    Each distinct source triggers one full BFS whose distance vector is
+    cached (bounded LRU by insertion order).  Suitable for tests and small
+    graphs; the ablation bench uses it to quantify what PML buys.
+    """
+
+    def __init__(self, graph: Graph, cache_size: int = 1024) -> None:
+        self._graph = graph
+        self._cache: dict[int, np.ndarray] = {}
+        self._cache_size = cache_size
+        self.query_count = 0
+
+    def _vector(self, source: int) -> np.ndarray:
+        vec = self._cache.get(source)
+        if vec is None:
+            vec = bfs_distances(self._graph, source)
+            if len(self._cache) >= self._cache_size:
+                # Drop the oldest entry (dict preserves insertion order).
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[source] = vec
+        return vec
+
+    def distance(self, u: int, v: int) -> int:
+        self.query_count += 1
+        if u == v:
+            self._graph._check_vertex(u)
+            return 0
+        # Run BFS from whichever endpoint is already cached, else from u.
+        source, target = (v, u) if v in self._cache and u not in self._cache else (u, v)
+        return int(self._vector(source)[target])
+
+    def within(self, u: int, v: int, upper: int) -> bool:
+        d = self.distance(u, v)
+        return 0 <= d <= upper
+
+
+class CountingOracle:
+    """Delegating oracle that counts queries (experiment instrumentation)."""
+
+    def __init__(self, inner: DistanceOracle) -> None:
+        self._inner = inner
+        self.query_count = 0
+
+    def distance(self, u: int, v: int) -> int:
+        self.query_count += 1
+        return self._inner.distance(u, v)
+
+    def within(self, u: int, v: int, upper: int) -> bool:
+        self.query_count += 1
+        return self._inner.within(u, v, upper)
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.query_count = 0

@@ -1,0 +1,55 @@
+"""Two-hop neighborhood utilities.
+
+Section 5.2 of the paper: "we pre-compute the 2-hop neighbourhood of each
+vertex in G.  Note that we only record the *count* and not the exact vertex
+set" — the counts feed the out-scan/in-scan cost comparison of the two-hop
+search (Lemma 5.4), while the actual 2-hop *sets* are enumerated on the fly
+when an out-scan is chosen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["two_hop_counts", "two_hop_neighbors"]
+
+
+def two_hop_counts(graph: Graph) -> np.ndarray:
+    """``TwoHop(v)`` for every vertex: |{u != v : dist(v, u) <= 2}|.
+
+    One pass of neighbor-of-neighbor set unions per vertex; computed once
+    per data graph by the preprocessor and cached with the dataset.
+    """
+    offsets, neighbors = graph.raw_csr()
+    n = graph.num_vertices
+    counts = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        reach: set[int] = set()
+        for i in range(int(offsets[v]), int(offsets[v + 1])):
+            u = int(neighbors[i])
+            reach.add(u)
+            for j in range(int(offsets[u]), int(offsets[u + 1])):
+                reach.add(int(neighbors[j]))
+        reach.discard(v)
+        counts[v] = len(reach)
+    return counts
+
+
+def two_hop_neighbors(graph: Graph, v: int) -> set[int]:
+    """The exact set of vertices within 2 hops of ``v`` (excluding ``v``).
+
+    Enumerated lazily (not stored) — storing the sets "may store a large
+    portion of the entire data graph" (paper Remark, Sec. 5.2).
+    """
+    graph._check_vertex(v)
+    offsets, neighbors = graph.raw_csr()
+    reach: set[int] = set()
+    for i in range(int(offsets[v]), int(offsets[v + 1])):
+        u = int(neighbors[i])
+        reach.add(u)
+        for j in range(int(offsets[u]), int(offsets[u + 1])):
+            reach.add(int(neighbors[j]))
+    reach.discard(v)
+    return reach

@@ -1,0 +1,43 @@
+"""Query formulation sequences (QFS) — paper Table 2.
+
+Users can draw the same query's edges in different orders; Exp 7 shows that
+the Immediate strategy is sensitive to the order (expensive-edges-first is
+~2x worse) while the deferment strategies are not.  Table 2 fixes the exact
+sequences studied for Q1 (three orders) and Q6 (four orders); edge numbers
+refer to the template's ``e1..e6``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+__all__ = ["QFS_SEQUENCES", "qfs_edge_order"]
+
+#: Table 2, verbatim: template -> sequence label -> 1-based edge indices.
+QFS_SEQUENCES: dict[str, dict[str, tuple[int, ...]]] = {
+    "Q1": {
+        "S1": (1, 2, 3),
+        "S2": (2, 1, 3),
+        "S3": (3, 2, 1),
+    },
+    "Q6": {
+        "S1": (1, 2, 3, 4, 5, 6),
+        "S2": (4, 1, 2, 3, 5, 6),
+        "S3": (2, 3, 4, 1, 5, 6),
+        "S4": (5, 6, 2, 3, 4, 1),
+    },
+}
+
+
+def qfs_edge_order(template_name: str, sequence: str) -> tuple[int, ...]:
+    """The 1-based edge order of ``sequence`` for ``template_name``.
+
+    Raises :class:`ExperimentError` for combinations Table 2 does not
+    define.
+    """
+    try:
+        return QFS_SEQUENCES[template_name.upper()][sequence.upper()]
+    except KeyError:
+        raise ExperimentError(
+            f"Table 2 defines no QFS {sequence!r} for template {template_name!r}"
+        ) from None

@@ -1,0 +1,107 @@
+"""Tests for the BOOMER-unaware baseline."""
+
+import pytest
+
+from repro.baseline.bu import BoomerUnaware
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.errors import QueryValidationError
+from tests.conftest import brute_force_upper_matches, make_fig2_query
+
+
+def keys(matches):
+    return {tuple(sorted(m.items())) for m in matches}
+
+
+class TestCorrectness:
+    def test_matches_brute_force(self, fig2_ctx, fig2_graph):
+        query = make_fig2_query()
+        result = BoomerUnaware(fig2_ctx).evaluate(query)
+        assert keys(result.matches) == brute_force_upper_matches(fig2_graph, query)
+        assert not result.timed_out
+        assert not result.truncated
+
+    def test_agrees_with_boomer(self, fig2_pre):
+        from repro.core.preprocessor import make_context
+
+        query = make_fig2_query()
+        bu_result = BoomerUnaware(make_context(fig2_pre)).evaluate(query)
+
+        boomer = Boomer(make_context(fig2_pre), strategy="DI")
+        boomer.apply(NewVertex(0, "A"))
+        boomer.apply(NewVertex(1, "B"))
+        boomer.apply(NewEdge(0, 1, 1, 1))
+        boomer.apply(NewVertex(2, "C"))
+        boomer.apply(NewEdge(1, 2, 1, 2))
+        boomer.apply(NewEdge(0, 2, 1, 3))
+        boomer.apply(Run())
+        assert keys(bu_result.matches) == keys(boomer.run_result.matches.matches)
+
+    def test_injectivity(self, fig2_ctx):
+        from repro.core.query import BPHQuery
+
+        query = BPHQuery()
+        query.add_vertex("B", vertex_id=0)
+        query.add_vertex("B", vertex_id=1)
+        query.add_edge(0, 1, 1, 2)
+        result = BoomerUnaware(fig2_ctx).evaluate(query)
+        assert all(m[0] != m[1] for m in result.matches)
+
+    def test_order_is_reordered_by_candidate_size(self, fig2_ctx):
+        query = make_fig2_query()
+        result = BoomerUnaware(fig2_ctx).evaluate(query)
+        # C has 1 candidate, B/A have 4 each: C first.
+        assert result.order[0] == 2
+
+    def test_validates_query(self, fig2_ctx):
+        from repro.core.query import BPHQuery
+
+        query = BPHQuery()
+        query.add_vertex("A")
+        query.add_vertex("B")  # disconnected
+        with pytest.raises(QueryValidationError):
+            BoomerUnaware(fig2_ctx).evaluate(query)
+
+
+class TestLimits:
+    def test_timeout_flag(self, fig2_ctx):
+        query = make_fig2_query()
+        result = BoomerUnaware(fig2_ctx, timeout_seconds=0.0).evaluate(query)
+        assert result.timed_out
+
+    def test_max_results_truncation(self, fig2_ctx):
+        query = make_fig2_query()
+        result = BoomerUnaware(fig2_ctx, max_results=1).evaluate(query)
+        assert result.truncated
+        assert result.num_matches == 1
+
+    def test_distance_queries_counted(self, fig2_ctx):
+        query = make_fig2_query()
+        result = BoomerUnaware(fig2_ctx).evaluate(query)
+        assert result.distance_queries > 0
+
+    def test_srt_positive(self, fig2_ctx):
+        result = BoomerUnaware(fig2_ctx).evaluate(make_fig2_query())
+        assert result.srt_seconds > 0
+
+
+class TestResultGeneration:
+    def test_lower_bound_filtering_shared_with_boomer(self, fig2_ctx):
+        from repro.core.query import BPHQuery
+
+        # lower=2 on the A-C edge: matches needing a length-1-only path drop.
+        query = BPHQuery()
+        query.add_vertex("A", vertex_id=0)
+        query.add_vertex("C", vertex_id=1)
+        query.add_edge(0, 1, 2, 3)
+        bu = BoomerUnaware(fig2_ctx)
+        result = bu.evaluate(query)
+        subgraphs = bu.results(result, query)
+        for sub in subgraphs:
+            assert 2 <= sub.path_length(0, 1) <= 3
+
+    def test_results_limit(self, fig2_ctx):
+        query = make_fig2_query()
+        bu = BoomerUnaware(fig2_ctx)
+        result = bu.evaluate(query)
+        assert len(bu.results(result, query, limit=2)) == 2

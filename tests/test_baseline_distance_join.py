@@ -1,0 +1,93 @@
+"""Tests for the distance-join baseline."""
+
+import pytest
+
+from repro.baseline.distance_join import DistanceJoin
+from repro.core.preprocessor import make_context, preprocess
+from repro.core.query import BPHQuery
+from tests.conftest import (
+    brute_force_upper_matches,
+    build_fig2_graph,
+    make_fig2_query,
+)
+from tests.test_integration_end_to_end import random_setup
+
+
+def keys(matches):
+    return {tuple(sorted(m.items())) for m in matches}
+
+
+class TestCorrectness:
+    def test_fig2_matches_brute_force(self, fig2_ctx, fig2_graph):
+        query = make_fig2_query()
+        result = DistanceJoin(fig2_ctx).evaluate(query)
+        assert keys(result.matches) == brute_force_upper_matches(fig2_graph, query)
+        assert not result.timed_out
+        assert not result.truncated
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_setups_match_brute_force(self, seed):
+        graph, query = random_setup(seed + 400)
+        pre = preprocess(graph, t_avg_samples=50)
+        result = DistanceJoin(make_context(pre)).evaluate(query)
+        assert keys(result.matches) == brute_force_upper_matches(graph, query)
+
+    def test_agrees_with_bu(self, fig2_pre):
+        from repro.baseline.bu import BoomerUnaware
+
+        query = make_fig2_query()
+        dj = DistanceJoin(make_context(fig2_pre)).evaluate(query)
+        bu = BoomerUnaware(make_context(fig2_pre)).evaluate(query)
+        assert keys(dj.matches) == keys(bu.matches)
+
+    def test_injectivity(self, fig2_ctx):
+        query = BPHQuery()
+        query.add_vertex("B", vertex_id=0)
+        query.add_vertex("B", vertex_id=1)
+        query.add_edge(0, 1, 1, 2)
+        result = DistanceJoin(fig2_ctx).evaluate(query)
+        assert all(m[0] != m[1] for m in result.matches)
+
+
+class TestGlobalUpper:
+    def test_global_bound_overrides_per_edge(self, fig2_ctx, fig2_graph):
+        # Per-edge bounds [1,1]/[1,2]/[1,3]; a global bound of 3 loosens
+        # the strict edges, which can only add matches.
+        query = make_fig2_query()
+        per_edge = DistanceJoin(fig2_ctx).evaluate(query)
+        global3 = DistanceJoin(fig2_ctx, global_upper=3).evaluate(query)
+        assert keys(per_edge.matches) <= keys(global3.matches)
+        # Reference: the same query with every upper set to 3.
+        loosened = BPHQuery()
+        loosened.add_vertex("A", vertex_id=0)
+        loosened.add_vertex("B", vertex_id=1)
+        loosened.add_vertex("C", vertex_id=2)
+        loosened.add_edge(0, 1, 1, 3)
+        loosened.add_edge(1, 2, 1, 3)
+        loosened.add_edge(0, 2, 1, 3)
+        assert keys(global3.matches) == brute_force_upper_matches(
+            build_fig2_graph(), loosened
+        )
+
+
+class TestInstrumentation:
+    def test_phase_timings_and_sizes(self, fig2_ctx):
+        query = make_fig2_query()
+        result = DistanceJoin(fig2_ctx).evaluate(query)
+        assert result.materialize_seconds > 0
+        assert result.join_seconds >= 0
+        assert result.srt_seconds >= result.materialize_seconds
+        assert set(result.relation_sizes) == {(0, 1), (1, 2), (0, 2)}
+        assert all(size > 0 for size in result.relation_sizes.values())
+
+    def test_timeout(self, fig2_ctx):
+        query = make_fig2_query()
+        result = DistanceJoin(fig2_ctx, timeout_seconds=0.0).evaluate(query)
+        assert result.timed_out
+        assert result.matches == []
+
+    def test_max_results(self, fig2_ctx):
+        query = make_fig2_query()
+        result = DistanceJoin(fig2_ctx, max_results=1).evaluate(query)
+        assert result.truncated
+        assert result.num_matches == 1

@@ -1,0 +1,72 @@
+"""Tests for GUI actions and the action stream."""
+
+import pytest
+
+from repro.core.actions import (
+    ActionStream,
+    DeleteEdge,
+    ModifyBounds,
+    NewEdge,
+    NewVertex,
+    Run,
+)
+from repro.errors import ActionError
+
+
+class TestActions:
+    def test_kinds(self):
+        assert NewVertex(0, "A").kind == "NewVertex"
+        assert NewEdge(0, 1).kind == "NewEdge"
+        assert ModifyBounds(0, 1, 1, 2).kind == "ModifyBounds"
+        assert DeleteEdge(0, 1).kind == "DeleteEdge"
+        assert Run().kind == "Run"
+
+    def test_defaults(self):
+        e = NewEdge(0, 1)
+        assert e.lower == 1 and e.upper == 1
+        assert e.latency_after is None
+
+    def test_latency_keyword_only(self):
+        v = NewVertex(0, "A", latency_after=1.5)
+        assert v.latency_after == 1.5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NewVertex(0, "A").vertex_id = 2
+
+
+class TestActionStream:
+    def test_append_and_consume(self):
+        stream = ActionStream()
+        stream.append(NewVertex(0, "A"))
+        stream.append(NewVertex(1, "B"))
+        assert len(stream) == 2
+        assert stream.has_pending
+        first = stream.consume()
+        assert isinstance(first, NewVertex) and first.vertex_id == 0
+        assert len(stream.pending()) == 1
+
+    def test_consume_exhausted(self):
+        stream = ActionStream([NewVertex(0, "A")])
+        stream.consume()
+        assert not stream.has_pending
+        with pytest.raises(ActionError):
+            stream.consume()
+
+    def test_iteration_yields_pending_only(self):
+        stream = ActionStream([NewVertex(0, "A"), Run()])
+        stream.consume()
+        assert [a.kind for a in stream] == ["Run"]
+
+    def test_run_must_be_last_on_init(self):
+        with pytest.raises(ActionError):
+            ActionStream([Run(), NewVertex(0, "A")])
+
+    def test_append_after_run_rejected(self):
+        stream = ActionStream([Run()])
+        with pytest.raises(ActionError):
+            stream.append(NewVertex(0, "A"))
+
+    def test_repr(self):
+        stream = ActionStream([Run()])
+        assert "1 actions" in repr(stream)

@@ -1,0 +1,86 @@
+"""Tests for the cost model and GUI latency constants."""
+
+import pytest
+
+from repro.core.cost import CostModel, GUILatencyConstants
+
+
+class TestGUILatencyConstants:
+    def test_paper_defaults(self):
+        c = GUILatencyConstants()
+        assert c.t_edge == 2.0
+        assert c.t_vertex == 3.0  # 1 + 1 + 1
+
+    def test_t_lat_is_edge_time(self):
+        # t_m + t_s + t_d > t_e  =>  t_lat = t_e (Equation 2 derivation)
+        c = GUILatencyConstants()
+        assert c.t_lat == c.t_edge
+
+    def test_t_lat_min_semantics(self):
+        c = GUILatencyConstants(t_move=0.1, t_select=0.1, t_drag=0.1, t_edge=2.0)
+        assert c.t_lat == pytest.approx(0.3)
+
+    def test_scaled(self):
+        c = GUILatencyConstants().scaled(0.1)
+        assert c.t_edge == pytest.approx(0.2)
+        assert c.t_vertex == pytest.approx(0.3)
+        assert c.t_bounds == pytest.approx(0.15)
+
+    def test_scaling_preserves_t_lat_relation(self):
+        base = GUILatencyConstants()
+        scaled = base.scaled(0.25)
+        assert scaled.t_lat == pytest.approx(base.t_lat * 0.25)
+
+
+class TestCostModel:
+    def test_estimate(self):
+        model = CostModel(t_avg=2e-6, t_lat=1.0)
+        assert model.estimate_edge_cost(100, 200) == pytest.approx(0.04)
+
+    def test_expensive_requires_upper_ge_3(self):
+        model = CostModel(t_avg=1.0, t_lat=0.001)
+        assert not model.is_expensive(100, 100, 1)
+        assert not model.is_expensive(100, 100, 2)
+        assert model.is_expensive(100, 100, 3)
+
+    def test_expensive_requires_cost_above_latency(self):
+        model = CostModel(t_avg=1e-9, t_lat=1.0)
+        assert not model.is_expensive(100, 100, 5)
+        big = CostModel(t_avg=1e-3, t_lat=1.0)
+        assert big.is_expensive(100, 100, 5)
+
+    def test_boundary_not_expensive(self):
+        # T_est must strictly exceed t_lat (Definition 5.8's ">").
+        model = CostModel(t_avg=0.01, t_lat=1.0)
+        assert model.estimate_edge_cost(10, 10) == pytest.approx(1.0)
+        assert not model.is_expensive(10, 10, 3)
+
+    def test_zero_candidates_never_expensive(self):
+        model = CostModel(t_avg=10.0, t_lat=0.1)
+        assert not model.is_expensive(0, 100, 5)
+
+
+class TestBoundAwareEstimates:
+    def test_upper_ge_3_uses_all_pairs_product(self):
+        model = CostModel(t_avg=1e-3, t_lat=1.0, mean_degree=4.0, mean_two_hop=16.0)
+        assert model.estimate_edge_cost(10, 20, upper=3) == pytest.approx(0.2)
+        assert model.estimate_edge_cost(10, 20) == pytest.approx(0.2)
+
+    def test_upper_1_scales_with_mean_degree(self):
+        model = CostModel(t_avg=1e-3, t_lat=1.0, mean_degree=4.0, mean_two_hop=16.0)
+        # min(|Vqi|, |Vqj|) * mean_degree * t_avg
+        assert model.estimate_edge_cost(10, 20, upper=1) == pytest.approx(0.04)
+
+    def test_upper_2_scales_with_mean_two_hop(self):
+        model = CostModel(t_avg=1e-3, t_lat=1.0, mean_degree=4.0, mean_two_hop=16.0)
+        assert model.estimate_edge_cost(10, 20, upper=2) == pytest.approx(0.16)
+
+    def test_bound_specialized_cheaper_than_all_pairs(self):
+        model = CostModel(t_avg=1e-3, t_lat=1.0, mean_degree=4.0, mean_two_hop=16.0)
+        all_pairs = model.estimate_edge_cost(100, 100, upper=5)
+        assert model.estimate_edge_cost(100, 100, upper=1) < all_pairs
+        assert model.estimate_edge_cost(100, 100, upper=2) < all_pairs
+
+    def test_missing_stats_fall_back_to_unit(self):
+        model = CostModel(t_avg=1e-3, t_lat=1.0)
+        assert model.estimate_edge_cost(10, 20, upper=1) == pytest.approx(0.01)

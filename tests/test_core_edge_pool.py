@@ -1,0 +1,98 @@
+"""Tests for the deferred-edge pool."""
+
+import pytest
+
+from repro.core.cap import CAPIndex
+from repro.core.cost import CostModel
+from repro.core.edge_pool import EdgePool
+from repro.core.query import BPHQuery
+from repro.errors import CAPStateError
+
+
+def setup_pool():
+    query = BPHQuery()
+    for label in "ABC":
+        query.add_vertex(label)
+    e01 = query.add_edge(0, 1, 1, 5)
+    e12 = query.add_edge(1, 2, 1, 5)
+    cap = CAPIndex()
+    cap.add_level(0, range(10))  # |V_0| = 10
+    cap.add_level(1, range(100, 120))  # |V_1| = 20
+    cap.add_level(2, range(200, 205))  # |V_2| = 5
+    pool = EdgePool()
+    return query, cap, pool, e01, e12
+
+
+def test_insert_contains_len():
+    _, _, pool, e01, e12 = setup_pool()
+    pool.insert(e01)
+    assert pool.contains(0, 1)
+    assert pool.contains(1, 0)
+    assert not pool.contains(1, 2)
+    assert len(pool) == 1
+    pool.insert(e12)
+    assert len(pool) == 2
+    assert bool(pool)
+
+
+def test_remove_and_discard():
+    _, _, pool, e01, _ = setup_pool()
+    pool.insert(e01)
+    removed = pool.remove(1, 0)
+    assert removed.key == (0, 1)
+    assert not pool
+    with pytest.raises(CAPStateError):
+        pool.remove(0, 1)
+    assert pool.discard(0, 1) is None
+
+
+def test_min_edge_uses_live_sizes():
+    _, cap, pool, e01, e12 = setup_pool()
+    pool.insert(e01)  # T_est ~ 10*20
+    pool.insert(e12)  # T_est ~ 20*5
+    model = CostModel(t_avg=1.0, t_lat=1.0)
+    edge, cost = pool.min_edge(cap, model)
+    assert edge.key == (1, 2)
+    assert cost == pytest.approx(100.0)
+    # shrink level 0 so (0,1) becomes cheapest
+    cap.reset_level(0, [1])
+    edge, cost = pool.min_edge(cap, model)
+    assert edge.key == (0, 1)
+    assert cost == pytest.approx(20.0)
+
+
+def test_min_edge_empty():
+    _, cap, pool, _, _ = setup_pool()
+    assert pool.min_edge(cap, CostModel(1.0, 1.0)) is None
+
+
+def test_replace_updates_bounds():
+    query, _, pool, e01, _ = setup_pool()
+    pool.insert(e01)
+    new_edge = query.set_bounds(0, 1, 1, 9)
+    pool.replace(new_edge)
+    assert pool.edges()[0].upper == 9
+
+
+def test_replace_missing_rejected():
+    _, _, pool, e01, _ = setup_pool()
+    with pytest.raises(CAPStateError):
+        pool.replace(e01)
+
+
+def test_sync_query_bounds():
+    query, _, pool, e01, e12 = setup_pool()
+    pool.insert(e01)
+    pool.insert(e12)
+    query.set_bounds(0, 1, 2, 7)
+    pool.sync_query_bounds(query)
+    assert {e.key: e.upper for e in pool.edges()} == {(0, 1): 7, (1, 2): 5}
+
+
+def test_clear_and_iter():
+    _, _, pool, e01, e12 = setup_pool()
+    pool.insert(e01)
+    pool.insert(e12)
+    assert [e.key for e in pool] == [(0, 1), (1, 2)]
+    pool.clear()
+    assert len(pool) == 0

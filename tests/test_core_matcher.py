@@ -1,0 +1,170 @@
+"""Tests for vertex matchers (label equality vs similarity)."""
+
+import pytest
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.matcher import (
+    LabelEqualityMatcher,
+    SimilarityMatcher,
+    VertexMatcher,
+    jaccard_label_similarity,
+)
+from repro.core.preprocessor import make_context
+from tests.conftest import build_fig2_graph
+
+
+class TestLabelEqualityMatcher:
+    def test_candidates(self, fig2_graph):
+        matcher = LabelEqualityMatcher()
+        assert list(matcher.candidates_for(fig2_graph, "A")) == [0, 1, 2, 3]
+        assert list(matcher.candidates_for(fig2_graph, "Z")) == []
+
+    def test_matches(self, fig2_graph):
+        matcher = LabelEqualityMatcher()
+        assert matcher.matches(fig2_graph, "A", 0)
+        assert not matcher.matches(fig2_graph, "A", 4)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(LabelEqualityMatcher(), VertexMatcher)
+
+
+class TestSimilarityMatcher:
+    def exact(self, a, b):
+        return 1.0 if a == b else 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityMatcher(self.exact, 1.5)
+
+    def test_exact_similarity_equals_label_matcher(self, fig2_graph):
+        sim = SimilarityMatcher(self.exact, threshold=1.0)
+        eq = LabelEqualityMatcher()
+        for label in fig2_graph.distinct_labels():
+            assert list(sim.candidates_for(fig2_graph, label)) == list(
+                eq.candidates_for(fig2_graph, label)
+            )
+
+    def test_zero_threshold_matches_everything(self, fig2_graph):
+        sim = SimilarityMatcher(lambda a, b: 0.0, threshold=0.0)
+        assert len(sim.candidates_for(fig2_graph, "A")) == fig2_graph.num_vertices
+
+    def test_custom_similarity_widens_candidates(self, fig2_graph):
+        # A and B are "similar"; X and C are not.
+        def sim(query_label, data_label):
+            close = {"A", "B"}
+            if query_label == data_label:
+                return 1.0
+            return 0.8 if {query_label, data_label} <= close else 0.0
+
+        matcher = SimilarityMatcher(sim, threshold=0.5)
+        got = list(matcher.candidates_for(fig2_graph, "A"))
+        assert got == [0, 1, 2, 3, 4, 5, 6, 7]  # A's and B's
+
+    def test_matches_per_vertex(self, fig2_graph):
+        matcher = SimilarityMatcher(self.exact, threshold=1.0)
+        assert matcher.matches(fig2_graph, "C", 11)
+        assert not matcher.matches(fig2_graph, "C", 0)
+
+    def test_cache_consistency(self, fig2_graph):
+        matcher = SimilarityMatcher(self.exact, threshold=1.0)
+        first = matcher.candidates_for(fig2_graph, "B")
+        second = matcher.candidates_for(fig2_graph, "B")
+        assert first is second  # cached
+
+    def test_matching_labels(self, fig2_graph):
+        matcher = SimilarityMatcher(self.exact, threshold=1.0)
+        assert matcher.matching_labels(fig2_graph, "A") == ["A"]
+
+
+class TestJaccardSimilarity:
+    def test_identical(self):
+        assert jaccard_label_similarity("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_label_similarity("abc", "xyz") == 0.0
+
+    def test_partial(self):
+        assert jaccard_label_similarity("ab", "bc") == pytest.approx(1 / 3)
+
+    def test_case_insensitive(self):
+        assert jaccard_label_similarity("ABC", "abc") == 1.0
+
+    def test_empty(self):
+        assert jaccard_label_similarity("", "") == 1.0
+
+
+class TestEndToEndWithSimilarity:
+    def test_p_hom_style_query(self, fig2_pre):
+        """Full 1-1 p-hom: query label 'AB' matches both A and B vertices."""
+
+        def sim(query_label, data_label):
+            return 1.0 if str(data_label) in str(query_label) else 0.0
+
+        ctx = make_context(fig2_pre)
+        ctx.matcher = SimilarityMatcher(sim, threshold=1.0)
+        boomer = Boomer(ctx, strategy="IC")
+        boomer.apply(NewVertex(0, "AB"))  # matches all A and B vertices
+        boomer.apply(NewVertex(1, "C"))
+        boomer.apply(NewEdge(0, 1, 1, 2))
+        boomer.apply(Run())
+        matched_zero = {m[0] for m in boomer.run_result.matches}
+        graph = build_fig2_graph()
+        # every matched vertex is an A or a B within 2 hops of v12 (id 11)
+        for v in matched_zero:
+            assert graph.label(v) in ("A", "B")
+        # B vertices adjacent to v12's neighborhood must appear (e.g. v8 id 7)
+        assert 7 in matched_zero
+
+    def test_rollback_preserves_matcher(self, fig2_pre):
+        from repro.core.actions import DeleteEdge
+
+        def sim(query_label, data_label):
+            return 1.0 if str(data_label) in str(query_label) else 0.0
+
+        ctx = make_context(fig2_pre)
+        ctx.matcher = SimilarityMatcher(sim, threshold=1.0)
+        boomer = Boomer(ctx, strategy="IC")
+        boomer.apply(NewVertex(0, "AB"))
+        boomer.apply(NewVertex(1, "C"))
+        boomer.apply(NewEdge(0, 1, 1, 1))
+        boomer.apply(DeleteEdge(0, 1))
+        # rollback must re-retrieve candidates through the matcher
+        assert boomer.cap.candidate_count(0) == 8  # all A's and B's
+
+
+class TestSimilarityEquivalence:
+    """Similarity matching over label classes must equal label-equality
+    matching on a graph whose labels are collapsed to those classes."""
+
+    def test_union_class_equivalence(self, fig2_graph, fig2_pre):
+        from repro.core.actions import NewEdge, NewVertex, Run
+        from repro.core.preprocessor import make_context, preprocess
+        from repro.graph.builder import GraphBuilder
+
+        # Collapse A and B into one class "AB" in a relabeled graph.
+        collapse = {"A": "AB", "B": "AB", "X": "X", "C": "C"}
+        builder = GraphBuilder("fig2-collapsed")
+        builder.add_vertices([collapse[l] for l in fig2_graph.labels()])
+        for u, v in fig2_graph.iter_edges():
+            builder.add_edge(u, v)
+        collapsed = builder.build()
+        collapsed_pre = preprocess(collapsed, t_avg_samples=100)
+
+        def run(ctx, labels):
+            boomer = Boomer(ctx, strategy="IC")
+            boomer.apply(NewVertex(0, labels[0]))
+            boomer.apply(NewVertex(1, labels[1]))
+            boomer.apply(NewEdge(0, 1, 1, 2))
+            boomer.apply(Run())
+            return {tuple(sorted(m.items())) for m in boomer.run_result.matches}
+
+        def sim(query_label, data_label):
+            return 1.0 if collapse[data_label] == query_label else 0.0
+
+        ctx_sim = make_context(fig2_pre)
+        ctx_sim.matcher = SimilarityMatcher(sim, threshold=1.0)
+        via_similarity = run(ctx_sim, ("AB", "C"))
+        via_collapsed = run(make_context(collapsed_pre), ("AB", "C"))
+        assert via_similarity == via_collapsed
+        assert via_similarity  # non-vacuous

@@ -1,0 +1,195 @@
+"""Tests for query modification (Section 6 / Algorithms 5 and 15).
+
+Key correctness property: after any modification the session must produce
+exactly the same final results as a fresh session formulating the modified
+query from scratch.
+"""
+
+import pytest
+
+from repro.core.actions import DeleteEdge, ModifyBounds, NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.errors import CAPStateError
+from tests.conftest import brute_force_upper_matches
+
+
+def formulate_fig2(boomer: Boomer, bounds=((1, 1), (1, 2), (1, 3))):
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    boomer.apply(NewEdge(0, 1, *bounds[0]))
+    boomer.apply(NewVertex(2, "C"))
+    boomer.apply(NewEdge(1, 2, *bounds[1]))
+    boomer.apply(NewEdge(0, 2, *bounds[2]))
+    return boomer
+
+
+def match_keys(run_result):
+    return {tuple(sorted(m.items())) for m in run_result.matches}
+
+
+def fresh_reference(ctx_factory, build):
+    """Matches of a from-scratch formulation described by `build`."""
+    boomer = Boomer(ctx_factory(), strategy="IC")
+    build(boomer)
+    boomer.apply(Run())
+    return match_keys(boomer.run_result)
+
+
+class TestDeletion:
+    def test_delete_processed_edge_equals_fresh(self, fig2_pre):
+        from repro.core.preprocessor import make_context
+        from repro.core.cost import GUILatencyConstants
+
+        latency = GUILatencyConstants().scaled(0.001)
+        make_ctx = lambda: make_context(fig2_pre, latency=latency)
+
+        boomer = formulate_fig2(Boomer(make_ctx(), strategy="IC"))
+        report = boomer.apply(DeleteEdge(0, 2)).modification
+        assert report.kind == "delete"
+        assert report.was_processed
+        boomer.apply(Run())
+
+        def build(b):
+            b.apply(NewVertex(0, "A"))
+            b.apply(NewVertex(1, "B"))
+            b.apply(NewEdge(0, 1, 1, 1))
+            b.apply(NewVertex(2, "C"))
+            b.apply(NewEdge(1, 2, 1, 2))
+
+        assert match_keys(boomer.run_result) == fresh_reference(make_ctx, build)
+
+    def test_delete_pooled_edge_no_cap_change(self, fig2_ctx):
+        boomer = Boomer(fig2_ctx, strategy="DR")
+        boomer.apply(NewVertex(0, "A"))
+        boomer.apply(NewVertex(1, "B"))
+        # make everything expensive so the edge is pooled
+        from repro.core.cost import CostModel
+
+        fig2_ctx.cost_model = CostModel(t_avg=100.0, t_lat=0.0001)
+        boomer.apply(NewEdge(0, 1, 1, 5))
+        assert boomer.engine.pool.contains(0, 1)
+        report = boomer.apply(DeleteEdge(0, 1)).modification
+        assert not report.was_processed
+        assert not boomer.engine.pool.contains(0, 1)
+        assert not boomer.query.has_edge(0, 1)
+
+    def test_delete_unknown_edge_raises(self, fig2_ctx):
+        boomer = Boomer(fig2_ctx, strategy="IC")
+        boomer.apply(NewVertex(0, "A"))
+        boomer.apply(NewVertex(1, "B"))
+        with pytest.raises(Exception):
+            boomer.apply(DeleteEdge(0, 1))  # never drawn
+
+
+class TestBoundsModification:
+    @pytest.fixture()
+    def ctx_factory(self, fig2_pre):
+        from repro.core.cost import GUILatencyConstants
+        from repro.core.preprocessor import make_context
+
+        latency = GUILatencyConstants().scaled(0.001)
+        return lambda: make_context(fig2_pre, latency=latency)
+
+    def _reference(self, ctx_factory, bounds):
+        def build(b):
+            formulate_fig2(b, bounds)
+
+        return fresh_reference(ctx_factory, build)
+
+    def test_tighten_processed_edge(self, ctx_factory):
+        boomer = formulate_fig2(Boomer(ctx_factory(), strategy="IC"))
+        report = boomer.apply(ModifyBounds(0, 2, 1, 2)).modification
+        assert report.kind == "tighten"
+        boomer.apply(Run())
+        assert match_keys(boomer.run_result) == self._reference(
+            ctx_factory, ((1, 1), (1, 2), (1, 2))
+        )
+
+    def test_loosen_processed_edge(self, ctx_factory):
+        boomer = formulate_fig2(Boomer(ctx_factory(), strategy="IC"))
+        report = boomer.apply(ModifyBounds(1, 2, 1, 3)).modification
+        assert report.kind == "loosen"
+        boomer.apply(Run())
+        assert match_keys(boomer.run_result) == self._reference(
+            ctx_factory, ((1, 1), (1, 3), (1, 3))
+        )
+
+    def test_lower_only_change_is_noop_on_cap(self, ctx_factory):
+        boomer = formulate_fig2(Boomer(ctx_factory(), strategy="IC"))
+        size_before = boomer.cap.size_report().total
+        report = boomer.apply(ModifyBounds(0, 2, 2, 3)).modification
+        assert report.kind == "lower-only"
+        assert boomer.cap.size_report().total == size_before
+        assert boomer.query.edge_between(0, 2).lower == 2
+
+    def test_modify_pooled_edge_updates_pool_only(self, fig2_ctx):
+        from repro.core.cost import CostModel
+
+        boomer = Boomer(fig2_ctx, strategy="DR")
+        boomer.apply(NewVertex(0, "A"))
+        boomer.apply(NewVertex(1, "B"))
+        fig2_ctx.cost_model = CostModel(t_avg=100.0, t_lat=0.0001)
+        boomer.apply(NewEdge(0, 1, 1, 5))
+        report = boomer.apply(ModifyBounds(0, 1, 1, 4)).modification
+        assert report.kind == "pooled-update"
+        assert boomer.engine.pool.edges()[0].upper == 4
+
+    def test_tighten_matches_brute_force(self, ctx_factory, fig2_graph):
+        boomer = formulate_fig2(Boomer(ctx_factory(), strategy="IC"))
+        boomer.apply(ModifyBounds(0, 2, 1, 1))
+        boomer.apply(Run())
+        from repro.core.query import BPHQuery
+
+        query = BPHQuery()
+        query.add_vertex("A", vertex_id=0)
+        query.add_vertex("B", vertex_id=1)
+        query.add_vertex("C", vertex_id=2)
+        query.add_edge(0, 1, 1, 1)
+        query.add_edge(1, 2, 1, 2)
+        query.add_edge(0, 2, 1, 1)
+        assert match_keys(boomer.run_result) == brute_force_upper_matches(
+            fig2_graph, query
+        )
+
+
+class TestRollbackInternals:
+    def test_rollback_resets_levels(self, fig2_ctx):
+        boomer = formulate_fig2(Boomer(fig2_ctx, strategy="IC"))
+        # after formulation some A-candidates were pruned
+        assert boomer.cap.candidate_count(0) < 4
+        boomer.apply(DeleteEdge(0, 1))
+        # IC reprocesses immediately; all edges of the component must be
+        # processed again and the index consistent
+        assert boomer.engine.pool.contains(0, 1) is False
+        boomer.cap.check_consistency(boomer.query)
+
+    def test_modification_report_fields(self, fig2_ctx):
+        boomer = formulate_fig2(Boomer(fig2_ctx, strategy="IC"))
+        report = boomer.apply(DeleteEdge(0, 2)).modification
+        assert report.edge == (0, 2)
+        assert report.elapsed_seconds >= 0
+        assert set(report.affected_levels) == {0, 1, 2}
+        assert (0, 2) not in report.repooled_edges
+
+    def test_modify_unknown_edge_raises(self, fig2_ctx):
+        boomer = Boomer(fig2_ctx, strategy="IC")
+        boomer.apply(NewVertex(0, "A"))
+        boomer.apply(NewVertex(1, "B"))
+        with pytest.raises((CAPStateError, Exception)):
+            boomer.apply(ModifyBounds(0, 1, 1, 2))
+
+
+class TestDeleteValidation:
+    def test_invalid_delete_leaves_query_untouched(self, fig2_ctx):
+        """A rejected deletion must not half-mutate the session."""
+        from repro.core.actions import DeleteEdge
+
+        boomer = Boomer(fig2_ctx, strategy="IC")
+        boomer.apply(NewVertex(0, "A"))
+        boomer.apply(NewVertex(1, "B"))
+        with pytest.raises(Exception):
+            boomer.apply(DeleteEdge(0, 1))  # edge never drawn
+        # session still usable: draw the edge and run
+        boomer.apply(NewEdge(0, 1, 1, 1))
+        boomer.apply(Run())
+        assert boomer.run_result.num_matches > 0

@@ -1,0 +1,70 @@
+"""Tests for the offline preprocessor."""
+
+import pytest
+
+from repro.core.cost import GUILatencyConstants
+from repro.core.preprocessor import make_context, measure_t_avg, preprocess
+from repro.indexing.oracle import BFSOracle
+from tests.conftest import build_fig2_graph
+
+
+@pytest.fixture(scope="module")
+def pre():
+    return preprocess(build_fig2_graph(), t_avg_samples=500)
+
+
+def test_preprocess_builds_all_pieces(pre):
+    assert pre.pml is not None
+    assert len(pre.two_hop) == pre.graph.num_vertices
+    assert pre.t_avg > 0
+    assert pre.pml_build_seconds >= 0
+    assert pre.two_hop_seconds >= 0
+    assert pre.t_avg_samples == 500
+
+
+def test_summary_mentions_graph(pre):
+    assert "fig2" in pre.summary()
+
+
+def test_measure_t_avg_positive(pre):
+    t = measure_t_avg(pre.pml, pre.graph, samples=100, seed=1)
+    assert t > 0
+    assert t < 0.01  # microsecond scale, not milliseconds
+
+
+def test_measure_t_avg_empty_graph():
+    from repro.graph.builder import GraphBuilder
+
+    g = GraphBuilder().build()
+
+    class NoOracle:
+        def distance(self, u, v):
+            return 0
+
+        def within(self, u, v, upper):
+            return True
+
+    assert measure_t_avg(NoOracle(), g, samples=10) == 0.0
+
+
+def test_make_context_defaults_to_pml(pre):
+    ctx = make_context(pre)
+    assert ctx.oracle is pre.pml
+    assert ctx.cost_model.t_lat == GUILatencyConstants().t_lat
+    assert ctx.cost_model.t_avg == pre.t_avg
+
+
+def test_make_context_custom_oracle_and_latency(pre):
+    oracle = BFSOracle(pre.graph)
+    latency = GUILatencyConstants().scaled(0.5)
+    ctx = make_context(pre, latency=latency, oracle=oracle)
+    assert ctx.oracle is oracle
+    assert ctx.cost_model.t_lat == pytest.approx(1.0)  # 2.0 * 0.5
+
+
+def test_contexts_share_index_but_not_counters(pre):
+    a = make_context(pre)
+    b = make_context(pre)
+    a.counters.distance_queries = 99
+    assert b.counters.distance_queries == 0
+    assert a.oracle is b.oracle

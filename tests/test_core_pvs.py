@@ -1,0 +1,177 @@
+"""Tests for PopulateVertexSet and its three search strategies.
+
+Each search must produce exactly the pairs whose BFS distance satisfies the
+edge's upper bound — verified against ground truth on the Figure-2 graph
+and random graphs.
+"""
+
+import pytest
+
+from repro.core.cap import CAPIndex
+from repro.core.cost import CostModel
+from repro.core.context import EngineContext
+from repro.core.pvs import (
+    large_upper_search,
+    neighbor_search,
+    populate_vertex_set,
+    two_hop_search,
+)
+from repro.core.query import BPHQuery
+from repro.graph.algorithms import bfs_distances
+from repro.graph.generators import erdos_renyi
+from repro.indexing.pml import PrunedLandmarkLabeling
+from repro.indexing.twohop import two_hop_counts
+from tests.conftest import build_fig2_graph
+
+
+def make_ctx(graph, scan_override=None):
+    ctx = EngineContext(
+        graph=graph,
+        oracle=PrunedLandmarkLabeling.build(graph),
+        two_hop=two_hop_counts(graph),
+        cost_model=CostModel(t_avg=1e-6, t_lat=1.0),
+    )
+    ctx.scan_override = scan_override
+    return ctx
+
+
+def expected_pairs(graph, cands_i, cands_j, upper):
+    out = set()
+    for vi in cands_i:
+        dist = bfs_distances(graph, vi)
+        for vj in cands_j:
+            if vi != vj and 0 <= dist[vj] <= upper:
+                out.add((vi, vj))
+    return out
+
+
+def run_search(graph, label_i, label_j, upper, ctx=None, force=False):
+    ctx = ctx or make_ctx(graph)
+    query = BPHQuery()
+    query.add_vertex(label_i, vertex_id=0)
+    query.add_vertex(label_j, vertex_id=1)
+    edge = query.add_edge(0, 1, 1, upper)
+    cap = CAPIndex()
+    cap.add_level(0, (int(v) for v in graph.vertices_with_label(label_i)))
+    cap.add_level(1, (int(v) for v in graph.vertices_with_label(label_j)))
+    cap.begin_edge(0, 1)
+    populate_vertex_set(cap, ctx, edge, force_large_upper=force)
+    actual = {
+        (vi, vj) for vi in cap.candidates(0) for vj in cap.aivs(0, 1, vi)
+    }
+    want = expected_pairs(
+        graph,
+        [int(v) for v in graph.vertices_with_label(label_i)],
+        [int(v) for v in graph.vertices_with_label(label_j)],
+        upper,
+    )
+    return actual, want, cap
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("upper", [1, 2, 3, 5])
+    def test_matches_ground_truth(self, upper):
+        graph = build_fig2_graph()
+        actual, want, _ = run_search(graph, "A", "B", upper)
+        assert actual == want
+
+    @pytest.mark.parametrize("upper", [1, 2])
+    def test_forced_large_upper_same_result(self, upper):
+        graph = build_fig2_graph()
+        a1, w, _ = run_search(graph, "A", "B", upper)
+        a2, _, _ = run_search(graph, "A", "B", upper, force=True)
+        assert a1 == a2 == w
+
+
+class TestNeighborSearch:
+    def test_equals_truth_fig2(self):
+        graph = build_fig2_graph()
+        actual, want, _ = run_search(graph, "A", "B", 1)
+        assert actual == want
+
+    def test_same_label_levels_skip_self(self):
+        graph = build_fig2_graph()
+        actual, _, _ = run_search(graph, "B", "B", 1)
+        assert all(vi != vj for vi, vj in actual)
+        # v5-v6 is an edge between two B vertices
+        assert (4, 5) in actual and (5, 4) in actual
+
+    @pytest.mark.parametrize("mode", ["in", "out"])
+    def test_forced_scan_modes_agree(self, mode):
+        graph = build_fig2_graph()
+        forced, want, _ = run_search(graph, "A", "B", 1, ctx=make_ctx(graph, mode))
+        assert forced == want
+
+    def test_counters(self):
+        graph = build_fig2_graph()
+        ctx = make_ctx(graph, "out")
+        run_search(graph, "A", "B", 1, ctx=ctx)
+        assert ctx.counters.out_scans == 4  # one per A candidate
+        assert ctx.counters.in_scans == 0
+        assert ctx.counters.pairs_added > 0
+
+
+class TestTwoHopSearch:
+    def test_equals_truth_fig2(self):
+        graph = build_fig2_graph()
+        actual, want, _ = run_search(graph, "A", "B", 2)
+        assert actual == want
+
+    @pytest.mark.parametrize("mode", ["in", "out"])
+    def test_forced_scan_modes_agree(self, mode):
+        graph = build_fig2_graph()
+        forced, want, _ = run_search(graph, "A", "B", 2, ctx=make_ctx(graph, mode))
+        assert forced == want
+
+    def test_random_graphs(self):
+        for seed in range(3):
+            graph = erdos_renyi(
+                30, 45, seed=seed, labels=["X" if v % 2 else "Y" for v in range(30)]
+            )
+            actual, want, _ = run_search(graph, "X", "Y", 2)
+            assert actual == want
+
+
+class TestLargeUpperSearch:
+    @pytest.mark.parametrize("upper", [3, 4, 10])
+    def test_equals_truth(self, upper):
+        graph = build_fig2_graph()
+        actual, want, _ = run_search(graph, "A", "C", upper)
+        assert actual == want
+
+    def test_counts_distance_queries(self):
+        graph = build_fig2_graph()
+        ctx = make_ctx(graph)
+        run_search(graph, "A", "B", 3, ctx=ctx)
+        assert ctx.counters.distance_queries == 4 * 4
+
+    def test_random_graphs(self):
+        for seed in range(3):
+            graph = erdos_renyi(
+                25, 40, seed=seed, labels=["X" if v % 3 else "Y" for v in range(25)]
+            )
+            actual, want, _ = run_search(graph, "X", "Y", 3)
+            assert actual == want
+
+
+def test_direct_function_calls_equal_dispatch():
+    graph = build_fig2_graph()
+    for upper, fn in ((1, neighbor_search), (2, two_hop_search), (3, large_upper_search)):
+        ctx = make_ctx(graph)
+        query = BPHQuery()
+        query.add_vertex("A", vertex_id=0)
+        query.add_vertex("B", vertex_id=1)
+        edge = query.add_edge(0, 1, 1, upper)
+        cap = CAPIndex()
+        cap.add_level(0, (int(v) for v in graph.vertices_with_label("A")))
+        cap.add_level(1, (int(v) for v in graph.vertices_with_label("B")))
+        cap.begin_edge(0, 1)
+        fn(cap, ctx, edge)
+        got = {(vi, vj) for vi in cap.candidates(0) for vj in cap.aivs(0, 1, vi)}
+        want = expected_pairs(
+            graph,
+            [int(v) for v in graph.vertices_with_label("A")],
+            [int(v) for v in graph.vertices_with_label("B")],
+            upper,
+        )
+        assert got == want

@@ -1,0 +1,241 @@
+"""Tests for the BPH query model."""
+
+import pytest
+
+from repro.core.query import BPHQuery, Bounds, QueryEdge, canonical_edge
+from repro.errors import (
+    BoundsError,
+    QueryEdgeNotFoundError,
+    QueryValidationError,
+    QueryVertexNotFoundError,
+)
+
+
+class TestBounds:
+    def test_defaults(self):
+        b = Bounds()
+        assert b.lower == 1 and b.upper == 1
+        assert b.is_default
+
+    def test_contains(self):
+        b = Bounds(2, 4)
+        assert not b.contains(1)
+        assert b.contains(2)
+        assert b.contains(4)
+        assert not b.contains(5)
+
+    def test_lower_below_one_rejected(self):
+        with pytest.raises(BoundsError):
+            Bounds(0, 1)
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(BoundsError):
+            Bounds(3, 2)
+
+    def test_str(self):
+        assert str(Bounds(1, 3)) == "[1,3]"
+
+    def test_non_default(self):
+        assert not Bounds(1, 2).is_default
+        assert not Bounds(2, 2).is_default
+
+
+class TestCanonicalEdge:
+    def test_ordering(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge(1, 2) == (1, 2)
+
+
+class TestQueryEdge:
+    def test_key_and_bounds_shortcuts(self):
+        e = QueryEdge(1, 2, Bounds(2, 3))
+        assert e.key == (1, 2)
+        assert e.lower == 2
+        assert e.upper == 3
+
+    def test_non_canonical_rejected(self):
+        with pytest.raises(QueryValidationError):
+            QueryEdge(2, 1, Bounds())
+
+    def test_other_endpoint(self):
+        e = QueryEdge(1, 2, Bounds())
+        assert e.other_endpoint(1) == 2
+        assert e.other_endpoint(2) == 1
+        with pytest.raises(QueryVertexNotFoundError):
+            e.other_endpoint(3)
+
+
+class TestBPHQueryConstruction:
+    def test_auto_ids(self):
+        q = BPHQuery()
+        assert q.add_vertex("A") == 0
+        assert q.add_vertex("B") == 1
+
+    def test_explicit_ids(self):
+        q = BPHQuery()
+        assert q.add_vertex("A", vertex_id=5) == 5
+        assert q.add_vertex("B") == 6  # next dense after max
+
+    def test_duplicate_id_rejected(self):
+        q = BPHQuery()
+        q.add_vertex("A", vertex_id=1)
+        with pytest.raises(QueryValidationError):
+            q.add_vertex("B", vertex_id=1)
+
+    def test_none_label_rejected(self):
+        with pytest.raises(QueryValidationError):
+            BPHQuery().add_vertex(None)
+
+    def test_add_edge_canonicalizes(self):
+        q = BPHQuery()
+        q.add_vertex("A")
+        q.add_vertex("B")
+        edge = q.add_edge(1, 0, 1, 2)
+        assert edge.key == (0, 1)
+        assert q.has_edge(0, 1) and q.has_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        q = BPHQuery()
+        q.add_vertex("A")
+        with pytest.raises(QueryValidationError):
+            q.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self):
+        q = BPHQuery()
+        q.add_vertices_for_test = [q.add_vertex(l) for l in "AB"]
+        q.add_edge(0, 1)
+        with pytest.raises(QueryValidationError):
+            q.add_edge(1, 0)
+
+    def test_edge_to_unknown_vertex(self):
+        q = BPHQuery()
+        q.add_vertex("A")
+        with pytest.raises(QueryVertexNotFoundError):
+            q.add_edge(0, 7)
+
+
+class TestMutation:
+    def make_triangle(self):
+        q = BPHQuery()
+        for label in "ABC":
+            q.add_vertex(label)
+        q.add_edge(0, 1)
+        q.add_edge(1, 2, 1, 2)
+        q.add_edge(0, 2, 1, 3)
+        return q
+
+    def test_remove_edge(self):
+        q = self.make_triangle()
+        removed = q.remove_edge(2, 1)
+        assert removed.key == (1, 2)
+        assert not q.has_edge(1, 2)
+        assert q.num_edges == 2
+        assert 2 not in q.neighbors(1)
+
+    def test_remove_missing_edge(self):
+        q = self.make_triangle()
+        with pytest.raises(QueryEdgeNotFoundError):
+            q.remove_edge(0, 0 + 10)
+
+    def test_set_bounds(self):
+        q = self.make_triangle()
+        edge = q.set_bounds(0, 1, 2, 5)
+        assert edge.bounds == Bounds(2, 5)
+        assert q.edge_between(0, 1).upper == 5
+
+    def test_set_bounds_missing_edge(self):
+        q = BPHQuery()
+        q.add_vertex("A")
+        q.add_vertex("B")
+        with pytest.raises(QueryEdgeNotFoundError):
+            q.set_bounds(0, 1, 1, 2)
+
+
+class TestAccessors:
+    def test_matching_order_is_insertion_order(self):
+        q = BPHQuery()
+        q.add_vertex("B", vertex_id=3)
+        q.add_vertex("A", vertex_id=1)
+        assert q.matching_order == [3, 1]
+        assert [v.id for v in q.vertices()] == [3, 1]
+
+    def test_neighbors_and_incident_edges(self):
+        q = BPHQuery()
+        for label in "ABC":
+            q.add_vertex(label)
+        q.add_edge(0, 1)
+        q.add_edge(0, 2)
+        assert q.neighbors(0) == {1, 2}
+        assert [e.key for e in q.incident_edges(0)] == [(0, 1), (0, 2)]
+
+    def test_label(self):
+        q = BPHQuery()
+        q.add_vertex("XYZ")
+        assert q.label(0) == "XYZ"
+
+    def test_iteration(self):
+        q = BPHQuery()
+        q.add_vertex("A")
+        q.add_vertex("B")
+        assert [v.label for v in q] == ["A", "B"]
+
+
+class TestStructure:
+    def test_connectivity(self):
+        q = BPHQuery()
+        for label in "ABC":
+            q.add_vertex(label)
+        assert not q.is_connected()
+        q.add_edge(0, 1)
+        assert not q.is_connected()
+        q.add_edge(1, 2)
+        assert q.is_connected()
+
+    def test_empty_and_singleton_connected(self):
+        assert BPHQuery().is_connected()
+        q = BPHQuery()
+        q.add_vertex("A")
+        assert q.is_connected()
+
+    def test_is_subgraph_iso_query(self):
+        q = BPHQuery()
+        q.add_vertex("A")
+        q.add_vertex("B")
+        q.add_edge(0, 1)
+        assert q.is_subgraph_iso_query
+        q.set_bounds(0, 1, 1, 2)
+        assert not q.is_subgraph_iso_query
+
+    def test_validate(self):
+        q = BPHQuery()
+        with pytest.raises(QueryValidationError):
+            q.validate()
+        q.add_vertex("A")
+        q.validate()
+        q.add_vertex("B")
+        with pytest.raises(QueryValidationError):
+            q.validate()  # disconnected
+        q.add_edge(0, 1)
+        q.validate()
+
+
+class TestCopy:
+    def test_copy_is_deep_for_structure(self):
+        q = BPHQuery(name="orig")
+        for label in "AB":
+            q.add_vertex(label)
+        q.add_edge(0, 1, 1, 2)
+        clone = q.copy()
+        clone.remove_edge(0, 1)
+        assert q.has_edge(0, 1)
+        assert clone.name == "orig"
+
+    def test_copy_preserves_ids_order_bounds(self):
+        q = BPHQuery()
+        q.add_vertex("A", vertex_id=4)
+        q.add_vertex("B", vertex_id=2)
+        q.add_edge(4, 2, 2, 3)
+        clone = q.copy(name="c2")
+        assert clone.matching_order == [4, 2]
+        assert clone.edge_between(2, 4).bounds == Bounds(2, 3)
+        assert clone.name == "c2"

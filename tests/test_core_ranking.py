@@ -1,0 +1,79 @@
+"""Tests for result ranking."""
+
+import pytest
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.ranking import (
+    RANKINGS,
+    compactness_score,
+    rank_results,
+    slack_score,
+    spread_score,
+)
+from repro.errors import ExperimentError
+
+
+@pytest.fixture()
+def completed(fig2_ctx):
+    boomer = Boomer(fig2_ctx, strategy="IC")
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    boomer.apply(NewEdge(0, 1, 1, 1))
+    boomer.apply(NewVertex(2, "C"))
+    boomer.apply(NewEdge(1, 2, 1, 2))
+    boomer.apply(NewEdge(0, 2, 1, 3))
+    boomer.apply(Run())
+    return boomer
+
+
+def test_known_schemes():
+    assert set(RANKINGS) == {"compactness", "slack", "spread"}
+
+
+def test_unknown_scheme_rejected(completed):
+    with pytest.raises(ExperimentError):
+        rank_results(completed.results(), completed.query, completed.engine.ctx, scheme="magic")
+
+
+def test_compactness_orders_by_total_path_length(completed):
+    results = completed.results()
+    ranked = rank_results(results, completed.query, completed.engine.ctx, "compactness")
+    scores = [
+        compactness_score(r, completed.query, completed.engine.ctx) for r in ranked
+    ]
+    assert scores == sorted(scores)
+
+
+def test_slack_prefers_most_headroom(completed):
+    results = completed.results()
+    ranked = rank_results(results, completed.query, completed.engine.ctx, "slack")
+    scores = [slack_score(r, completed.query, completed.engine.ctx) for r in ranked]
+    assert scores == sorted(scores)
+
+
+def test_spread_uses_oracle_distances(completed):
+    results = completed.results()
+    for r in results:
+        spread = spread_score(r, completed.query, completed.engine.ctx)
+        assert spread >= 1
+
+
+def test_limit(completed):
+    ranked = rank_results(
+        completed.results(), completed.query, completed.engine.ctx, limit=2
+    )
+    assert len(ranked) == 2
+
+
+def test_deterministic_tiebreak(completed):
+    a = rank_results(completed.results(), completed.query, completed.engine.ctx)
+    b = rank_results(completed.results(), completed.query, completed.engine.ctx)
+    assert [r.assignment for r in a] == [r.assignment for r in b]
+
+
+def test_ranking_preserves_result_set(completed):
+    results = completed.results()
+    ranked = rank_results(results, completed.query, completed.engine.ctx)
+    key = lambda rs: {tuple(sorted(r.assignment.items())) for r in rs}
+    assert key(results) == key(ranked)

@@ -1,0 +1,59 @@
+"""Exception-hierarchy contract tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_graph_errors_hierarchy():
+    assert issubclass(errors.GraphBuildError, errors.GraphError)
+    assert issubclass(errors.VertexNotFoundError, errors.GraphError)
+    assert issubclass(errors.EdgeNotFoundError, errors.GraphError)
+    assert issubclass(errors.GraphIOError, errors.GraphError)
+
+
+def test_vertex_not_found_is_key_error():
+    # Lookup-style failures should be catchable as KeyError too.
+    assert issubclass(errors.VertexNotFoundError, KeyError)
+    assert issubclass(errors.QueryVertexNotFoundError, KeyError)
+    assert issubclass(errors.QueryEdgeNotFoundError, KeyError)
+
+
+def test_bounds_error_is_value_error():
+    assert issubclass(errors.BoundsError, ValueError)
+
+
+def test_vertex_not_found_message_and_payload():
+    err = errors.VertexNotFoundError(42)
+    assert err.vertex == 42
+    assert "42" in str(err)
+
+
+def test_edge_not_found_payload():
+    err = errors.EdgeNotFoundError(1, 2)
+    assert err.edge == (1, 2)
+
+
+def test_query_errors_hierarchy():
+    assert issubclass(errors.QueryValidationError, errors.QueryError)
+    assert issubclass(errors.BoundsError, errors.QueryError)
+
+
+def test_index_errors_hierarchy():
+    assert issubclass(errors.IndexNotBuiltError, errors.IndexError_)
+    assert issubclass(errors.CAPStateError, errors.CAPError)
+
+
+def test_session_errors_hierarchy():
+    assert issubclass(errors.ActionError, errors.SessionError)
+
+
+def test_single_except_clause_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.DatasetError("nope")

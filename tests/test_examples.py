@@ -1,0 +1,39 @@
+"""The shipped examples must run clean end to end.
+
+Each example is executed as a subprocess (its own interpreter, like a user
+would run it) and must exit 0 with its key output markers present.
+Dataset-backed examples benefit from the registry's disk cache, so this
+stays fast after the first run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+_CASES = [
+    ("quickstart.py", ["V_Delta: 3 upper-bound matches", "matched by path"]),
+    ("bio_homolog_search.py", ["conserved apoptosis pathway match", "C. elegans"]),
+    ("social_fof.py", ["FOF:", "lower-bound check"]),
+    ("interactive_modification.py", ["verified: edited session's answers equal"]),
+    ("exploratory_phom.py", ["suggested labels", "most compact matches"]),
+    ("benchmark_walkthrough.py", ["registered experiments", "markdown report"]),
+]
+
+
+@pytest.mark.parametrize("script,markers", _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs_clean(script, markers):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in markers:
+        assert marker in proc.stdout, (marker, proc.stdout[-2000:])

@@ -1,0 +1,125 @@
+"""Tests for the claim-verdict machinery (synthetic tables)."""
+
+from repro.experiments.claims import ClaimVerdict, evaluate_claims, render_claims
+from repro.experiments.harness import ExperimentTable
+
+
+def _table(artifact, headers, rows):
+    return ExperimentTable(
+        experiment="expX", artifact=artifact, title=artifact, headers=headers, rows=rows
+    )
+
+
+def make_passing_tables():
+    return {
+        "Figure 5": _table(
+            "Figure 5",
+            ["query", "3-strategy SRT (ms)", "1-strategy SRT (ms)", "speedup", "|V_delta|"],
+            [["Q1", 1.0, 10.0, 10.0, 5]],
+        ),
+        "Figure 6(a)": _table(
+            "Figure 6(a)",
+            ["query", "pruning SRT (ms)", "no-pruning SRT (ms)", "ratio"],
+            [["Q1", 1.0, 5.0, 5.0]],
+        ),
+        "Figure 6(b)": _table(
+            "Figure 6(b)",
+            ["query", "pruning size", "no-pruning size", "ratio"],
+            [["Q1", 10, 50, 5.0]],
+        ),
+        "Figure 7": _table(
+            "Figure 7",
+            ["dataset", "query", "BU (ms)", "IC (ms)", "DR (ms)", "DI (ms)", "|V_delta|"],
+            [
+                ["wordnet", "Q1", "DNF", 100.0, 10.0, 9.0, 5],
+                ["dblp", "Q1", 900.0, 100.0, 10.0, 9.0, 5],
+            ],
+        ),
+        "Figure 8": _table(
+            "Figure 8",
+            ["dataset", "query", "IC (ms)", "DR (ms)", "DI (ms)", "deferred"],
+            [["wordnet", "Q1", 100.0, 10.0, 9.0, 1]],
+        ),
+        "Figure 9": _table(
+            "Figure 9",
+            ["dataset", "query", "IC peak", "DR peak", "DI peak", "final"],
+            [["wordnet", "Q1", 1000, 100, 100, 100]],
+        ),
+        "Figure 10": _table(
+            "Figure 10",
+            ["dataset", "query", "upper", "IC (ms)", "DR (ms)", "DI (ms)"],
+            [
+                ["dblp", "Q2", 1, 1.0, 1.0, 1.0],
+                ["dblp", "Q2", 3, 50.0, 30.0, 30.0],
+                ["dblp", "Q2", 5, 60.0, 35.0, 35.0],
+            ],
+        ),
+        "Figure 11": _table(
+            "Figure 11",
+            ["dataset", "query", "upper", "BU (ms)", "IC (ms)", "DR (ms)", "DI (ms)"],
+            [["dblp", "Q2", 3, "DNF", 50.0, 30.0, 30.0]],
+        ),
+        "Figure 14": _table(
+            "Figure 14",
+            ["dataset", "query", "lower", "avg check (ms)", "V_P checked", "passed"],
+            [["wordnet", "Q2", 2, 1.5, 10, 10]],
+        ),
+        "Table 1": _table(
+            "Table 1",
+            ["dataset", "query", "delete e1 (ms)", "tighten e3 (ms)", "loosen e3 (ms)"],
+            [["wordnet", "Q4", 100.0, 1.0, 500.0]],
+        ),
+        "Figure 16": _table(
+            "Figure 16",
+            ["dataset", "query+QFS", "IC", "DR", "DI"],
+            [
+                ["wordnet", "Q1S1", 100.0, 10.0, 10.0],
+                ["wordnet", "Q1S3", 10.0, 10.0, 10.0],
+            ],
+        ),
+    }
+
+
+def test_all_claims_pass_on_synthetic_tables():
+    verdicts = evaluate_claims(make_passing_tables())
+    assert len(verdicts) == 9
+    assert all(v.passed for v in verdicts), [
+        (v.claim_id, v.detail) for v in verdicts if not v.passed
+    ]
+
+
+def test_missing_tables_yield_none():
+    verdicts = evaluate_claims({})
+    assert all(v.passed is None for v in verdicts)
+
+
+def test_failing_claim_detected():
+    tables = make_passing_tables()
+    tables["Figure 5"] = _table(
+        "Figure 5",
+        ["query", "3-strategy SRT (ms)", "1-strategy SRT (ms)", "speedup", "|V_delta|"],
+        [["Q1", 10.0, 1.0, 0.1, 5]],
+    )
+    verdicts = {v.claim_id: v for v in evaluate_claims(tables)}
+    assert verdicts["C1"].passed is False
+    assert verdicts["C2"].passed is True
+
+
+def test_render_claims_marks():
+    verdicts = [
+        ClaimVerdict("C1", "Figure 5", "stmt", True, "d"),
+        ClaimVerdict("C2", "Figure 6(a)", "stmt", False, "d"),
+        ClaimVerdict("C3", "Figure 7", "stmt", None, "d"),
+    ]
+    text = render_claims(verdicts)
+    assert "PASS" in text and "FAIL" in text
+    assert text.count("|") > 10
+
+
+def test_report_includes_verdicts():
+    from repro.experiments.report import render_markdown
+
+    tables = list(make_passing_tables().values())
+    text = render_markdown(tables, "small")
+    assert "## Claim verdicts" in text
+    assert "PASS" in text

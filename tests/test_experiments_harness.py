@@ -1,0 +1,162 @@
+"""Tests for the experiment harness and registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentTable,
+    get_experiment,
+    render_markdown,
+    scale_settings,
+    write_report,
+)
+from repro.experiments.exp3_strategies import exp3_overrides
+from repro.experiments.exp4_upper_bound import exp4_plan
+from repro.experiments.harness import average_sessions, run_bu, session_for
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(EXPERIMENT_REGISTRY) == {
+            "exp1",
+            "exp2",
+            "exp3",
+            "exp4",
+            "exp5",
+            "exp6",
+            "exp7",
+            "exp8",
+            "exp9",
+            "exp10",
+        }
+
+    def test_get_experiment(self):
+        exp = get_experiment("exp3")
+        assert exp.id == "exp3"
+        assert "Figure 7" in exp.artifacts
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("exp99")
+
+    def test_every_paper_artifact_covered(self):
+        artifacts = set()
+        for cls in EXPERIMENT_REGISTRY.values():
+            artifacts.update(cls.artifacts)
+        for required in [
+            "Figure 5",
+            "Figure 6(a)",
+            "Figure 6(b)",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 13",
+            "Figure 14",
+            "Table 1",
+            "Figure 15",
+            "Figure 16",
+            "Figure 17",
+        ]:
+            assert required in artifacts, required
+
+
+class TestScaleSettings:
+    def test_tiny_and_small(self):
+        tiny = scale_settings("tiny")
+        small = scale_settings("small")
+        assert tiny.bu_timeout_seconds < small.bu_timeout_seconds
+        assert tiny.max_results <= small.max_results
+
+    def test_unknown(self):
+        with pytest.raises(ExperimentError):
+            scale_settings("huge")
+
+
+class TestMeasurementPrimitives:
+    def test_average_sessions_keys(self, dblp_tiny):
+        from repro.workload.generator import instantiate
+
+        instance = instantiate("Q1", dblp_tiny.graph, dataset="dblp")
+        out = average_sessions(
+            dblp_tiny, instance, "DI", scale_settings("tiny"), repeats=1
+        )
+        assert set(out) >= {
+            "srt",
+            "cap_time",
+            "cap_size",
+            "cap_peak_size",
+            "matches",
+            "backlog",
+            "deferred",
+            "truncated",
+        }
+        assert out["srt"] >= 0
+        assert out["cap_size"] > 0
+
+    def test_run_bu(self, dblp_tiny):
+        from repro.workload.generator import instantiate
+
+        instance = instantiate("Q1", dblp_tiny.graph, dataset="dblp")
+        result = run_bu(dblp_tiny, instance, scale_settings("tiny"))
+        assert result.srt_seconds > 0
+
+    def test_session_for_is_fresh(self, dblp_tiny):
+        a = session_for(dblp_tiny)
+        b = session_for(dblp_tiny)
+        assert a is not b
+
+
+class TestExperimentOverrides:
+    def test_exp3_wordnet_overrides(self):
+        assert exp3_overrides("wordnet", "Q1") == {1: 5, 2: 1}
+        assert exp3_overrides("wordnet", "Q5") == {1: 4, 2: 1, 3: 1}
+        assert exp3_overrides("wordnet", "Q6") == {1: 5, 5: 1, 6: 2}
+
+    def test_exp3_flickr_overrides(self):
+        assert exp3_overrides("flickr", "Q2") == {1: 5, 2: 5}
+        assert exp3_overrides("flickr", "Q3") == {1: 5, 2: 5, 3: 1}
+
+    def test_exp3_dblp_q5_exception(self):
+        assert exp3_overrides("dblp", "Q5")[3] == 3
+        assert exp3_overrides("dblp", "Q2") == exp3_overrides("flickr", "Q2")
+
+    def test_exp4_plan(self):
+        pinned, varied = exp4_plan("dblp", "Q2")
+        assert pinned == {} and varied == (1, 2)
+        pinned, varied = exp4_plan("flickr", "Q6")
+        assert pinned == {4: 2, 5: 2, 6: 1} and varied == (1, 3)
+
+
+class TestTablesAndReport:
+    def make_table(self):
+        return ExperimentTable(
+            experiment="expX",
+            artifact="Figure 0",
+            title="demo",
+            headers=["a", "b"],
+            rows=[["x", 1.23456]],
+            notes=["a note"],
+        )
+
+    def test_render_ascii(self):
+        out = self.make_table().render()
+        assert "Figure 0" in out and "note" in out
+
+    def test_markdown(self):
+        md = self.make_table().to_markdown()
+        assert "| a | b |" in md
+        assert "1.235" in md
+        assert "*Note: a note*" in md
+
+    def test_write_report(self, tmp_path):
+        path = write_report([self.make_table()], "tiny", tmp_path / "R.md")
+        text = path.read_text()
+        assert "paper vs measured" in text
+        assert "Figure 0" in text
+
+    def test_render_markdown_groups_by_experiment(self):
+        text = render_markdown([self.make_table()], "tiny")
+        assert "## expX" in text

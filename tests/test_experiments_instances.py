@@ -1,0 +1,88 @@
+"""Tests for the per-experiment instance builders (bounds wiring)."""
+
+import pytest
+
+from repro.core.query import Bounds
+from repro.experiments.exp3_strategies import exp3_instance
+from repro.experiments.exp4_upper_bound import UPPER_SWEEP, exp4_instance
+from repro.experiments.exp5_lower_bound import exp5_instance
+from repro.experiments.exp6_modification import exp6_instance
+from tests.conftest import build_fig2_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_fig2_graph()
+
+
+class TestExp3Instances:
+    def test_wordnet_q1_bounds(self, graph):
+        inst = exp3_instance("wordnet", "Q1", graph)
+        assert inst.bounds[0].upper == 5  # e1
+        assert inst.bounds[1].upper == 1  # e2
+        assert inst.tag == "exp3"
+
+    def test_wordnet_q5_e1_is_4(self, graph):
+        inst = exp3_instance("wordnet", "Q5", graph)
+        assert inst.bounds[0].upper == 4
+        assert inst.bounds[1].upper == 1
+        assert inst.bounds[2].upper == 1
+
+    def test_flickr_all_e1_e2_5(self, graph):
+        for name in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6"):
+            inst = exp3_instance("flickr", name, graph)
+            assert inst.bounds[0].upper == 5
+            assert inst.bounds[1].upper == 5
+
+    def test_q6_petal_overrides(self, graph):
+        inst = exp3_instance("dblp", "Q6", graph)
+        assert inst.bounds[4].upper == 1  # e5
+        assert inst.bounds[5].upper == 2  # e6
+
+    def test_lower_bounds_stay_valid(self, graph):
+        for dataset in ("wordnet", "dblp", "flickr"):
+            for name in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6"):
+                inst = exp3_instance(dataset, name, graph)
+                for bounds in inst.bounds:
+                    assert bounds.lower <= bounds.upper
+
+
+class TestExp4Instances:
+    def test_sweep_values(self):
+        assert UPPER_SWEEP == (1, 3, 5, 10)
+
+    def test_varied_edges_take_sweep_value(self, graph):
+        inst = exp4_instance("dblp", "Q2", graph, upper=5)
+        assert inst.bounds[0].upper == 5
+        assert inst.bounds[1].upper == 5
+        assert inst.tag == "u5"
+
+    def test_pinned_edges_fixed(self, graph):
+        inst = exp4_instance("flickr", "Q6", graph, upper=10)
+        assert inst.bounds[3].upper == 2  # e4 pinned
+        assert inst.bounds[4].upper == 2  # e5 pinned
+        assert inst.bounds[5].upper == 1  # e6 pinned
+        assert inst.bounds[0].upper == 10  # e1 varied
+        assert inst.bounds[2].upper == 10  # e3 varied
+
+    def test_q5_varies_e2_only(self, graph):
+        inst = exp4_instance("dblp", "Q5", graph, upper=10)
+        assert inst.bounds[1].upper == 10
+        assert inst.bounds[2].upper == 1
+        assert inst.bounds[3].upper == 2
+
+
+class TestExp5Instances:
+    @pytest.mark.parametrize("lower", [1, 2, 3])
+    def test_all_edges_get_lower(self, graph, lower):
+        inst = exp5_instance("wordnet", "Q2", graph, lower=lower)
+        for bounds in inst.bounds:
+            assert bounds.lower == lower
+            assert bounds.upper >= lower + 1
+
+
+class TestExp6Instances:
+    def test_base_bounds_all_1_2(self, graph):
+        inst = exp6_instance("wordnet", "Q6", graph)
+        assert all(b == Bounds(1, 2) for b in inst.bounds)
+        assert inst.tag == "mod"

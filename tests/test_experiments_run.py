@@ -1,0 +1,54 @@
+"""End-to-end experiment-module runs at tiny scale (fast ones only).
+
+The heavy experiments are exercised by the benchmark suite; here we run
+the cheapest experiment through the module API and the CLI to pin the
+plumbing (table structure, report writing).
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.experiments.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def exp9_tables():
+    return get_experiment("exp9").run(scale="tiny")
+
+
+class TestExp9Run:
+    def test_one_table(self, exp9_tables):
+        assert len(exp9_tables) == 1
+        table = exp9_tables[0]
+        assert table.experiment == "exp9"
+        assert table.headers[0] == "strategy"
+
+    def test_covers_all_strategies_and_speeds(self, exp9_tables):
+        rows = exp9_tables[0].rows
+        strategies = {row[0] for row in rows}
+        speeds = {row[1] for row in rows}
+        assert strategies == {"IC", "DR", "DI"}
+        assert speeds == {0.5, 1.0, 2.0}
+        assert len(rows) == 9
+
+    def test_min_le_mean_le_max(self, exp9_tables):
+        for row in exp9_tables[0].rows:
+            _, _, mean, low, high = row
+            assert low <= mean <= high
+
+    def test_render_and_markdown(self, exp9_tables):
+        table = exp9_tables[0]
+        assert "User panel" in table.render()
+        assert "| strategy |" in table.to_markdown()
+
+
+class TestCLIRun:
+    def test_run_with_report(self, tmp_path, capsys):
+        out = tmp_path / "mini.md"
+        code = main(["run", "exp9", "--scale", "tiny", "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "paper vs measured" in text
+        assert "exp9" in text
+        printed = capsys.readouterr().out
+        assert "User panel" in printed

@@ -1,0 +1,100 @@
+"""Failure injection: errors surface cleanly, no silent corruption."""
+
+import pytest
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.context import EngineContext
+from repro.core.cost import CostModel
+from repro.indexing.pml import PrunedLandmarkLabeling
+from repro.indexing.twohop import two_hop_counts
+from tests.conftest import build_fig2_graph
+
+
+class FlakyOracle:
+    """Distance oracle that fails after N successful queries."""
+
+    def __init__(self, inner, fail_after: int) -> None:
+        self.inner = inner
+        self.remaining = fail_after
+
+    def _tick(self):
+        if self.remaining <= 0:
+            raise RuntimeError("injected oracle failure")
+        self.remaining -= 1
+
+    def distance(self, u, v):
+        self._tick()
+        return self.inner.distance(u, v)
+
+    def within(self, u, v, upper):
+        self._tick()
+        return self.inner.within(u, v, upper)
+
+
+def make_ctx(fail_after=10**9):
+    graph = build_fig2_graph()
+    pml = PrunedLandmarkLabeling.build(graph)
+    return EngineContext(
+        graph=graph,
+        oracle=FlakyOracle(pml, fail_after),
+        two_hop=two_hop_counts(graph),
+        cost_model=CostModel(t_avg=1e-6, t_lat=10.0),
+    )
+
+
+def test_oracle_failure_propagates_from_large_upper_search():
+    ctx = make_ctx(fail_after=3)
+    boomer = Boomer(ctx, strategy="IC")
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    with pytest.raises(RuntimeError, match="injected"):
+        boomer.apply(NewEdge(0, 1, 1, 3))  # all-pairs PML path
+
+
+def test_failure_leaves_no_processed_mark():
+    ctx = make_ctx(fail_after=3)
+    boomer = Boomer(ctx, strategy="IC")
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    try:
+        boomer.apply(NewEdge(0, 1, 1, 3))
+    except RuntimeError:
+        pass
+    # The failed edge must not be marked processed: enumeration would
+    # otherwise silently use a half-populated AIVS.
+    assert not boomer.cap.is_processed(0, 1)
+    with pytest.raises(Exception):
+        boomer.apply(Run())  # either enumeration guard or another failure
+
+
+def test_recovery_with_fresh_engine_same_context_graph():
+    """A failure poisons only that session; the shared graph/preprocessing
+    is immutable and a fresh engine with a healthy oracle succeeds."""
+    graph = build_fig2_graph()
+    pml = PrunedLandmarkLabeling.build(graph)
+    healthy = EngineContext(
+        graph=graph,
+        oracle=pml,
+        two_hop=two_hop_counts(graph),
+        cost_model=CostModel(t_avg=1e-6, t_lat=10.0),
+    )
+    boomer = Boomer(healthy, strategy="IC")
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    boomer.apply(NewEdge(0, 1, 1, 3))
+    boomer.apply(Run())
+    assert boomer.run_result.num_matches > 0
+
+
+def test_failure_during_lower_bound_check():
+    ctx = make_ctx()
+    boomer = Boomer(ctx, strategy="IC")
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "C"))
+    boomer.apply(NewEdge(0, 1, 1, 3))
+    boomer.apply(Run())
+    ctx.oracle.remaining = 1  # fail during DetectPath's guided search
+    match = boomer.run_result.matches.matches[0]
+    with pytest.raises(RuntimeError, match="injected"):
+        boomer.visualize(match)

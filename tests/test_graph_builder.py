@@ -1,0 +1,113 @@
+"""Tests for repro.graph.builder."""
+
+import pytest
+
+from repro.errors import GraphBuildError, VertexNotFoundError
+from repro.graph.builder import GraphBuilder
+
+
+class TestAddVertex:
+    def test_ids_dense(self):
+        b = GraphBuilder()
+        assert b.add_vertex("A") == 0
+        assert b.add_vertex("B") == 1
+
+    def test_none_label_rejected(self):
+        with pytest.raises(GraphBuildError):
+            GraphBuilder().add_vertex(None)
+
+    def test_add_vertices_order(self):
+        b = GraphBuilder()
+        assert b.add_vertices(["x", "y", "z"]) == [0, 1, 2]
+
+    def test_counts(self):
+        b = GraphBuilder()
+        b.add_vertices("abc")
+        assert b.num_vertices == 3
+        assert b.num_edges == 0
+
+
+class TestAddEdge:
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex("A")
+        with pytest.raises(GraphBuildError):
+            b.add_edge(0, 0)
+
+    def test_duplicate_rejected_both_directions(self):
+        b = GraphBuilder()
+        b.add_vertices("ab")
+        b.add_edge(0, 1)
+        with pytest.raises(GraphBuildError):
+            b.add_edge(0, 1)
+        with pytest.raises(GraphBuildError):
+            b.add_edge(1, 0)
+
+    def test_unknown_endpoint(self):
+        b = GraphBuilder()
+        b.add_vertex("A")
+        with pytest.raises(VertexNotFoundError):
+            b.add_edge(0, 5)
+
+    def test_add_edge_if_absent(self):
+        b = GraphBuilder()
+        b.add_vertices("ab")
+        assert b.add_edge_if_absent(0, 1) is True
+        assert b.add_edge_if_absent(1, 0) is False  # duplicate
+        assert b.add_edge_if_absent(0, 0) is False  # self loop
+        assert b.num_edges == 1
+
+    def test_has_edge(self):
+        b = GraphBuilder()
+        b.add_vertices("ab")
+        assert not b.has_edge(0, 1)
+        b.add_edge(0, 1)
+        assert b.has_edge(0, 1)
+        assert b.has_edge(1, 0)
+
+
+class TestBuild:
+    def test_roundtrip_structure(self):
+        b = GraphBuilder("g")
+        b.add_vertices(["A", "B", "C"])
+        b.add_edge(0, 2)
+        b.add_edge(2, 1)
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(0, 2)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 1)
+        assert g.name == "g"
+
+    def test_empty_graph(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        b = GraphBuilder()
+        b.add_vertices("abc")
+        g = b.build()
+        assert g.num_edges == 0
+        assert all(g.degree(v) == 0 for v in range(3))
+
+    def test_adjacency_sorted_after_build(self):
+        b = GraphBuilder()
+        b.add_vertices("abcde")
+        for w in (4, 2, 3, 1):
+            b.add_edge(0, w)
+        g = b.build()
+        assert list(g.neighbors(0)) == [1, 2, 3, 4]
+
+    def test_build_is_repeatable(self):
+        b = GraphBuilder()
+        b.add_vertices("ab")
+        b.add_edge(0, 1)
+        assert b.build() == b.build()
+
+
+def test_repr():
+    b = GraphBuilder("named")
+    b.add_vertices("ab")
+    assert "named" in repr(b)

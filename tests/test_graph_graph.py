@@ -1,0 +1,153 @@
+"""Tests for repro.graph.graph (the CSR Graph class)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.builder import GraphBuilder
+from tests.conftest import build_cycle_graph, build_fig2_graph, build_path_graph
+
+
+@pytest.fixture()
+def triangle():
+    b = GraphBuilder("tri")
+    b.add_vertices(["A", "B", "B"])
+    b.add_edge(0, 1)
+    b.add_edge(1, 2)
+    b.add_edge(0, 2)
+    return b.build()
+
+
+class TestBasicAccessors:
+    def test_sizes(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+        assert len(triangle) == 3
+
+    def test_degree(self, triangle):
+        assert [triangle.degree(v) for v in range(3)] == [2, 2, 2]
+
+    def test_path_degrees(self):
+        g = build_path_graph(4)
+        assert [g.degree(v) for v in range(4)] == [1, 2, 2, 1]
+
+    def test_neighbors_sorted(self):
+        g = build_fig2_graph()
+        for v in g.iter_vertices():
+            nbrs = g.neighbors(v)
+            assert list(nbrs) == sorted(nbrs)
+
+    def test_labels(self, triangle):
+        assert triangle.label(0) == "A"
+        assert triangle.label(2) == "B"
+        assert triangle.labels() == ["A", "B", "B"]
+        assert triangle.distinct_labels() == {"A", "B"}
+
+    def test_vertex_bounds_checked(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            triangle.degree(3)
+        with pytest.raises(VertexNotFoundError):
+            triangle.neighbors(-1)
+        with pytest.raises(VertexNotFoundError):
+            triangle.label(99)
+
+
+class TestLabelIndex:
+    def test_vertices_with_label(self, triangle):
+        assert list(triangle.vertices_with_label("B")) == [1, 2]
+        assert list(triangle.vertices_with_label("A")) == [0]
+
+    def test_missing_label_is_empty(self, triangle):
+        assert len(triangle.vertices_with_label("Z")) == 0
+
+    def test_label_frequency(self, triangle):
+        assert triangle.label_frequency("B") == pytest.approx(2 / 3)
+        assert triangle.label_frequency("Z") == 0.0
+
+    def test_index_sorted(self):
+        g = build_fig2_graph()
+        for label in g.distinct_labels():
+            ids = g.vertices_with_label(label)
+            assert list(ids) == sorted(ids)
+
+
+class TestEdges:
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 0)
+        g = build_path_graph(4)
+        assert not g.has_edge(0, 3)
+
+    def test_iter_edges_each_once(self, triangle):
+        edges = list(triangle.iter_edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 3
+
+    def test_iter_edges_count_matches(self):
+        g = build_fig2_graph()
+        assert len(list(g.iter_edges())) == g.num_edges
+
+    def test_degree_array(self, triangle):
+        assert list(triangle.degree_array()) == [2, 2, 2]
+
+    def test_raw_csr_consistency(self):
+        g = build_fig2_graph()
+        offsets, neighbors = g.raw_csr()
+        assert int(offsets[-1]) == 2 * g.num_edges
+        for v in g.iter_vertices():
+            assert list(neighbors[offsets[v] : offsets[v + 1]]) == list(g.neighbors(v))
+
+
+class TestInducedSubgraph:
+    def test_simple_subgraph(self):
+        g = build_fig2_graph()
+        sub = g.induced_subgraph([1, 4, 11])  # v2, v5, v12
+        assert sub.num_vertices == 3
+        assert sub.label(0) == "A"
+        assert sub.label(1) == "B"
+        assert sub.label(2) == "C"
+        assert sub.has_edge(0, 1)  # v2-v5 edge survives
+        assert not sub.has_edge(0, 2)
+
+    def test_duplicates_collapsed(self, triangle):
+        sub = triangle.induced_subgraph([0, 0, 1])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_preserves_order_of_first_occurrence(self, triangle):
+        sub = triangle.induced_subgraph([2, 0])
+        assert sub.label(0) == "B"
+        assert sub.label(1) == "A"
+
+    def test_empty_selection(self, triangle):
+        sub = triangle.induced_subgraph([])
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+    def test_unknown_vertex_rejected(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            triangle.induced_subgraph([0, 17])
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert build_path_graph(5) == build_path_graph(5)
+
+    def test_different_structure(self):
+        assert build_path_graph(5) != build_cycle_graph(5)
+
+    def test_different_labels(self):
+        assert build_path_graph(3, "X") != build_path_graph(3, "Y")
+
+    def test_not_equal_to_other_types(self):
+        assert build_path_graph(2) != "graph"
+
+
+def test_repr_mentions_sizes(triangle):
+    text = repr(triangle)
+    assert "3" in text and "tri" in text
+
+
+def test_neighbors_returns_numpy_array(triangle):
+    assert isinstance(triangle.neighbors(0), np.ndarray)

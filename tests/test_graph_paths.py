@@ -1,0 +1,84 @@
+"""Tests for bounded simple-path enumeration."""
+
+import pytest
+
+from repro.graph.paths import bounded_paths, iter_bounded_paths
+from repro.indexing.pml import PrunedLandmarkLabeling
+from tests.conftest import build_cycle_graph, build_fig2_graph, build_path_graph
+
+
+class TestEnumeration:
+    def test_path_graph_single_path(self):
+        g = build_path_graph(5)
+        paths = bounded_paths(g, 0, 4, 1, 10)
+        assert paths == [[0, 1, 2, 3, 4]]
+
+    def test_cycle_two_ways(self):
+        g = build_cycle_graph(5)
+        paths = bounded_paths(g, 0, 2, 1, 4)
+        assert sorted(paths) == [[0, 1, 2], [0, 4, 3, 2]]
+
+    def test_bounds_filter(self):
+        g = build_cycle_graph(5)
+        assert bounded_paths(g, 0, 2, 3, 4) == [[0, 4, 3, 2]]
+        assert bounded_paths(g, 0, 2, 1, 2) == [[0, 1, 2]]
+        assert bounded_paths(g, 0, 2, 4, 4) == []
+
+    def test_same_vertex_empty(self):
+        g = build_cycle_graph(4)
+        assert bounded_paths(g, 1, 1, 1, 4) == []
+
+    def test_invalid_bounds_empty(self):
+        g = build_path_graph(3)
+        assert bounded_paths(g, 0, 2, 3, 2) == []
+
+    def test_limit(self):
+        g = build_fig2_graph()
+        capped = bounded_paths(g, 1, 11, 1, 5, limit=2)
+        assert len(capped) == 2
+
+    def test_all_paths_simple_and_within_bounds(self):
+        g = build_fig2_graph()
+        for path in iter_bounded_paths(g, 1, 11, 1, 4):
+            assert path[0] == 1 and path[-1] == 11
+            assert 1 <= len(path) - 1 <= 4
+            assert len(set(path)) == len(path)
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+    def test_oracle_pruning_same_results(self):
+        g = build_fig2_graph()
+        pml = PrunedLandmarkLabeling.build(g)
+        plain = {tuple(p) for p in iter_bounded_paths(g, 1, 11, 1, 4)}
+        pruned = {tuple(p) for p in iter_bounded_paths(g, 1, 11, 1, 4, oracle=pml)}
+        assert plain == pruned
+        assert plain  # non-empty on this graph
+
+    def test_deterministic_order(self):
+        g = build_fig2_graph()
+        a = bounded_paths(g, 1, 11, 1, 5)
+        b = bounded_paths(g, 1, 11, 1, 5)
+        assert a == b
+
+    def test_count_matches_naive_on_cycle(self):
+        g = build_cycle_graph(6)
+        # between opposite vertices: exactly two simple paths (length 3 each)
+        assert len(bounded_paths(g, 0, 3, 1, 6)) == 2
+
+
+class TestResultSubgraphIntegration:
+    def test_all_path_embeddings(self, fig2_ctx):
+        from tests.conftest import make_fig2_query
+        from repro.core.lowerbound import filter_by_lower_bound
+
+        query = make_fig2_query()
+        result = filter_by_lower_bound({0: 1, 1: 4, 2: 11}, query, fig2_ctx)
+        embeddings = result.all_path_embeddings(query, fig2_ctx)
+        assert set(embeddings) == {(0, 1), (1, 2), (0, 2)}
+        for edge in query.edges():
+            paths = embeddings[edge.key]
+            assert paths  # the display path exists, so at least one
+            display = result.paths[edge.key]
+            assert display in paths
+            for path in paths:
+                assert edge.lower <= len(path) - 1 <= edge.upper

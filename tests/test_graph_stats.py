@@ -1,0 +1,44 @@
+"""Tests for repro.graph.stats."""
+
+from repro.graph.stats import compute_stats
+from repro.graph.builder import GraphBuilder
+from tests.conftest import build_fig2_graph, build_path_graph
+
+
+def test_basic_counts():
+    stats = compute_stats(build_fig2_graph())
+    assert stats.num_vertices == 12
+    assert stats.num_edges == 11
+    assert stats.num_labels == 4
+
+
+def test_density_ratio():
+    stats = compute_stats(build_path_graph(5))
+    assert stats.density_ratio == 4 / 5
+
+
+def test_degree_extremes():
+    stats = compute_stats(build_path_graph(4))
+    assert stats.min_degree == 1
+    assert stats.max_degree == 2
+    assert abs(stats.mean_degree - 1.5) < 1e-9
+
+
+def test_label_histogram_and_top_share():
+    stats = compute_stats(build_fig2_graph())
+    assert stats.label_histogram["A"] == 4
+    assert stats.label_histogram["C"] == 1
+    assert stats.top_label_share == 4 / 12
+
+
+def test_empty_graph():
+    stats = compute_stats(GraphBuilder().build())
+    assert stats.num_vertices == 0
+    assert stats.density_ratio == 0.0
+    assert stats.top_label_share == 0.0
+
+
+def test_describe_mentions_name_and_sizes():
+    text = compute_stats(build_fig2_graph()).describe()
+    assert "fig2" in text
+    assert "12" in text

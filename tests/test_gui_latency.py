@@ -1,0 +1,66 @@
+"""Tests for the GUI latency model."""
+
+import pytest
+
+from repro.core.actions import DeleteEdge, ModifyBounds, NewEdge, NewVertex, Run
+from repro.core.cost import GUILatencyConstants
+from repro.gui.latency import LatencyModel
+
+
+class TestDeterministicModel:
+    @pytest.fixture()
+    def model(self):
+        return LatencyModel(GUILatencyConstants(), jitter=0.0)
+
+    def test_vertex_time_is_t_node(self, model):
+        assert model.vertex_time() == pytest.approx(3.0)
+
+    def test_edge_time_default_bounds(self, model):
+        assert model.edge_time(default_bounds=True) == pytest.approx(2.0)
+
+    def test_edge_time_with_bounds_entry(self, model):
+        assert model.edge_time(default_bounds=False) == pytest.approx(3.5)
+
+    def test_action_time_dispatch(self, model):
+        assert model.action_time(NewVertex(0, "A")) == pytest.approx(3.0)
+        assert model.action_time(NewEdge(0, 1)) == pytest.approx(2.0)
+        assert model.action_time(NewEdge(0, 1, 1, 3)) == pytest.approx(3.5)
+        assert model.action_time(ModifyBounds(0, 1, 1, 2)) == pytest.approx(2.5)
+        assert model.action_time(DeleteEdge(0, 1)) == pytest.approx(2.5)
+        assert model.action_time(Run()) == pytest.approx(1.0)
+
+    def test_unknown_action_rejected(self, model):
+        with pytest.raises(TypeError):
+            model.action_time(object())
+
+
+class TestJitterAndSpeed:
+    def test_jitter_reproducible(self):
+        a = LatencyModel(jitter=0.2, seed=5)
+        b = LatencyModel(jitter=0.2, seed=5)
+        assert [a.vertex_time() for _ in range(5)] == [
+            b.vertex_time() for _ in range(5)
+        ]
+
+    def test_jitter_produces_spread(self):
+        model = LatencyModel(jitter=0.3, seed=1)
+        samples = [model.edge_time(True) for _ in range(50)]
+        assert max(samples) > min(samples)
+        # mean should hover near 2.0
+        assert 1.5 < sum(samples) / len(samples) < 2.6
+
+    def test_speed_multiplier(self):
+        slow = LatencyModel(jitter=0.0, speed=2.0)
+        fast = LatencyModel(jitter=0.0, speed=0.5)
+        assert slow.vertex_time() == pytest.approx(6.0)
+        assert fast.vertex_time() == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(jitter=-0.1)
+        with pytest.raises(ValueError):
+            LatencyModel(speed=0.0)
+
+    def test_scaled_constants(self):
+        model = LatencyModel(GUILatencyConstants().scaled(0.1), jitter=0.0)
+        assert model.edge_time(True) == pytest.approx(0.2)

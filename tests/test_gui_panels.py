@@ -1,0 +1,133 @@
+"""Tests for the four-panel interface session (Section 3.2 protocol)."""
+
+import pytest
+
+from repro.errors import ActionError, SessionError
+from repro.gui.latency import LatencyModel
+from repro.gui.panels import InterfaceSession
+
+
+@pytest.fixture()
+def session(fig2_ctx):
+    return InterfaceSession(fig2_ctx, LatencyModel(jitter=0.0))
+
+
+def formulate_triangle(session):
+    session.select_label("A")
+    qa = session.drop_vertex()
+    session.select_label("B")
+    qb = session.drop_vertex()
+    session.connect(qa, qb)
+    session.select_label("C")
+    qc = session.drop_vertex()
+    session.connect(qb, qc)
+    session.set_bounds(qb, qc, 1, 2)
+    session.connect(qa, qc)
+    session.set_bounds(qa, qc, 1, 3)
+    return qa, qb, qc
+
+
+class TestAttributePanel:
+    def test_shows_graph_labels(self, session):
+        assert session.attribute_panel == ["A", "B", "C", "X"]
+
+    def test_unknown_label_rejected(self, session):
+        with pytest.raises(ActionError):
+            session.select_label("Z")
+
+    def test_drop_without_select_rejected(self, session):
+        with pytest.raises(ActionError):
+            session.drop_vertex()
+
+    def test_selection_consumed_by_drop(self, session):
+        session.select_label("A")
+        session.drop_vertex()
+        with pytest.raises(ActionError):
+            session.drop_vertex()
+
+
+class TestFormulation:
+    def test_vertex_ids_dense(self, session):
+        session.select_label("A")
+        assert session.drop_vertex() == 0
+        session.select_label("B")
+        assert session.drop_vertex() == 1
+
+    def test_full_protocol_matches_paper_example(self, session):
+        formulate_triangle(session)
+        result = session.press_run()
+        assert result.num_matches == 3  # the Figure-2 answer
+
+    def test_connect_defaults_then_bounds(self, session):
+        session.select_label("A")
+        qa = session.drop_vertex()
+        session.select_label("B")
+        qb = session.drop_vertex()
+        session.connect(qa, qb)
+        assert session.boomer.query.edge_between(qa, qb).bounds.is_default
+        session.set_bounds(qa, qb, 1, 2)
+        assert session.boomer.query.edge_between(qa, qb).upper == 2
+
+    def test_user_time_accumulates(self, session):
+        before = session.user_time_seconds
+        session.select_label("A")
+        session.drop_vertex()
+        after = session.user_time_seconds
+        # t_move + t_select + t_drag = T_node = 3.0 (unscaled defaults)
+        assert after - before == pytest.approx(3.0)
+
+    def test_delete_edge(self, session):
+        qa, qb, qc = formulate_triangle(session)
+        session.delete_edge(qa, qc)
+        assert not session.boomer.query.has_edge(qa, qc)
+        result = session.press_run()
+        assert result.num_matches >= 3
+
+
+class TestResultsPanel:
+    def test_requires_run(self, session):
+        with pytest.raises(SessionError):
+            session.next_result()
+
+    def test_iterates_all_then_none(self, session):
+        formulate_triangle(session)
+        session.press_run()
+        seen = []
+        while True:
+            result = session.next_result()
+            if result is None:
+                break
+            seen.append(tuple(sorted(result.assignment.items())))
+        assert len(seen) == 3
+        assert len(set(seen)) == 3
+        assert session.next_result() is None
+
+    def test_reset_results(self, session):
+        formulate_triangle(session)
+        session.press_run()
+        first = session.next_result()
+        session.reset_results()
+        again = session.next_result()
+        assert first.assignment == again.assignment
+
+    def test_skips_lower_bound_failures(self, fig2_ctx):
+        session = InterfaceSession(fig2_ctx, LatencyModel(jitter=0.0))
+        # A-C with lower=3: only matches with a genuine 3-hop simple path.
+        session.select_label("A")
+        qa = session.drop_vertex()
+        session.select_label("C")
+        qc = session.drop_vertex()
+        session.connect(qa, qc)
+        session.set_bounds(qa, qc, 3, 3)
+        run = session.press_run()
+        validated = []
+        while True:
+            result = session.next_result()
+            if result is None:
+                break
+            validated.append(result)
+        # every returned match really has a length-3 path
+        for result in validated:
+            assert result.path_length(qa, qc) == 3
+        # and the panel skipped any V_P lacking one
+        assert len(validated) <= run.num_matches

@@ -1,0 +1,102 @@
+"""Tests for session recording and replay."""
+
+import pytest
+
+from repro.core.actions import DeleteEdge, ModifyBounds, NewEdge, NewVertex, Run
+from repro.errors import ActionError
+from repro.gui.latency import LatencyModel
+from repro.gui.recording import (
+    action_from_dict,
+    action_to_dict,
+    load_actions,
+    save_actions,
+)
+from repro.gui.simulator import SimulatedUser
+from repro.workload.generator import instantiate
+from tests.conftest import build_fig2_graph
+
+
+ALL_ACTIONS = [
+    NewVertex(0, "A", latency_after=1.5),
+    NewVertex(1, "B"),
+    NewEdge(0, 1, 1, 2, latency_after=0.8),
+    ModifyBounds(0, 1, 2, 3, latency_after=0.1),
+    DeleteEdge(0, 1, latency_after=0.2),
+    Run(),
+]
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("action", ALL_ACTIONS, ids=lambda a: a.kind)
+    def test_roundtrip_each_kind(self, action):
+        assert action_from_dict(action_to_dict(action)) == action
+
+    def test_non_json_label_rejected(self):
+        with pytest.raises(ActionError):
+            action_to_dict(NewVertex(0, ("tuple", "label")))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ActionError):
+            action_from_dict({"kind": "Teleport"})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ActionError):
+            action_from_dict({"kind": "NewEdge", "u": 0})  # missing v
+
+    def test_default_bounds_omittable(self):
+        edge = action_from_dict({"kind": "NewEdge", "u": 0, "v": 1})
+        assert edge.lower == 1 and edge.upper == 1
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "session.json"
+        save_actions(ALL_ACTIONS, path)
+        assert load_actions(path) == ALL_ACTIONS
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ActionError):
+            load_actions(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ActionError):
+            load_actions(tmp_path / "nope.json")
+
+    def test_not_a_recording(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ActionError):
+            load_actions(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"version": 99, "actions": []}')
+        with pytest.raises(ActionError):
+            load_actions(path)
+
+
+class TestReplayEquivalence:
+    def test_recorded_simulated_session_replays_identically(self, tmp_path, fig2_pre):
+        from repro.core.cost import GUILatencyConstants
+        from repro.core.preprocessor import make_context
+        from repro.gui.session import VisualSession
+
+        instance = instantiate("Q1", build_fig2_graph(), seed=2)
+        user = SimulatedUser(LatencyModel(jitter=0.2, seed=9))
+        actions = user.formulate(instance)
+        path = tmp_path / "rec.json"
+        save_actions(actions, path)
+        replayed = load_actions(path)
+        assert replayed == actions
+
+        latency = GUILatencyConstants().scaled(0.001)
+        live = VisualSession(make_context(fig2_pre, latency=latency), latency).run_actions(
+            actions, strategy="DI"
+        )
+        rerun = VisualSession(make_context(fig2_pre, latency=latency), latency).run_actions(
+            replayed, strategy="DI"
+        )
+        key = lambda r: {tuple(sorted(m.items())) for m in r.run.matches}
+        assert key(live) == key(rerun)

@@ -1,0 +1,69 @@
+"""Tests for DOT / text rendering of result subgraphs."""
+
+import pytest
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.gui.render import to_dot, to_text
+
+
+@pytest.fixture()
+def match(fig2_ctx):
+    boomer = Boomer(fig2_ctx, strategy="IC")
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    boomer.apply(NewEdge(0, 1, 1, 1))
+    boomer.apply(NewVertex(2, "C"))
+    boomer.apply(NewEdge(1, 2, 1, 2))
+    boomer.apply(NewEdge(0, 2, 1, 3))
+    boomer.apply(Run())
+    results = boomer.results()
+    return boomer, results[0]
+
+
+class TestDot:
+    def test_valid_braces_and_graph_kind(self, match, fig2_graph):
+        boomer, result = match
+        dot = to_dot(result, fig2_graph, boomer.query)
+        assert dot.startswith("graph match {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_matched_vertices_highlighted(self, match, fig2_graph):
+        boomer, result = match
+        dot = to_dot(result, fig2_graph, boomer.query)
+        assert dot.count("fillcolor=lightblue") == 3  # one per query vertex
+        for q in (0, 1, 2):
+            assert f"q{q}:" in dot
+
+    def test_path_edges_bold(self, match, fig2_graph):
+        boomer, result = match
+        dot = to_dot(result, fig2_graph, boomer.query)
+        assert "penwidth=2.5" in dot
+
+    def test_halo_dimmed(self, match, fig2_graph):
+        boomer, result = match
+        dot = to_dot(result, fig2_graph, boomer.query, radius=1)
+        assert "color=gray" in dot
+
+    def test_radius_zero_no_halo_nodes(self, match, fig2_graph):
+        boomer, result = match
+        dot = to_dot(result, fig2_graph, boomer.query, radius=0)
+        # every node is matched or on a path; no dimmed nodes
+        assert "fontcolor=gray" not in dot
+
+
+class TestText:
+    def test_mentions_assignment_and_paths(self, match, fig2_graph):
+        boomer, result = match
+        text = to_text(result, fig2_graph, boomer.query)
+        assert text.startswith("match:")
+        for q, v in result.assignment.items():
+            assert f"q{q}" in text
+            assert f"v{v}" in text
+        assert "length" in text
+
+    def test_without_query_uses_graph_labels(self, match, fig2_graph):
+        _, result = match
+        text = to_text(result, fig2_graph)
+        assert "(A)" in text or "(B)" in text

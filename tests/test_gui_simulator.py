@@ -1,0 +1,118 @@
+"""Tests for the simulated user."""
+
+import pytest
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.errors import ExperimentError
+from repro.gui.latency import LatencyModel
+from repro.gui.simulator import SimulatedUser
+from repro.workload.generator import instantiate
+from repro.workload.templates import get_template
+from tests.conftest import build_fig2_graph
+
+
+@pytest.fixture()
+def user():
+    return SimulatedUser(LatencyModel(jitter=0.0))
+
+
+@pytest.fixture()
+def q1_instance():
+    return instantiate("Q1", build_fig2_graph(), seed=1)
+
+
+class TestFormulate:
+    def test_structure(self, user, q1_instance):
+        actions = user.formulate(q1_instance)
+        kinds = [a.kind for a in actions]
+        # Q1 triangle with default edge order: v,v,e,v,e,e,Run
+        assert kinds == [
+            "NewVertex",
+            "NewVertex",
+            "NewEdge",
+            "NewVertex",
+            "NewEdge",
+            "NewEdge",
+            "Run",
+        ]
+
+    def test_vertex_before_first_use(self, user, q1_instance):
+        actions = user.formulate(q1_instance)
+        drawn = set()
+        for action in actions:
+            if isinstance(action, NewVertex):
+                drawn.add(action.vertex_id)
+            elif isinstance(action, NewEdge):
+                assert action.u in drawn and action.v in drawn
+
+    def test_labels_and_bounds_carried(self, user, q1_instance):
+        actions = user.formulate(q1_instance)
+        vertex_labels = {
+            a.vertex_id: a.label for a in actions if isinstance(a, NewVertex)
+        }
+        template = q1_instance.template
+        for qid, label in vertex_labels.items():
+            assert label == q1_instance.labels[qid - 1]
+        edges = [a for a in actions if isinstance(a, NewEdge)]
+        for action in edges:
+            index = template.edge_index(action.u, action.v)
+            assert (action.lower, action.upper) == (
+                q1_instance.bounds[index - 1].lower,
+                q1_instance.bounds[index - 1].upper,
+            )
+
+    def test_latencies_attached(self, user, q1_instance):
+        actions = user.formulate(q1_instance)
+        for action in actions[:-1]:
+            assert action.latency_after is not None
+            assert action.latency_after > 0
+        assert isinstance(actions[-1], Run)
+
+    def test_latency_is_next_action_duration(self, q1_instance):
+        model = LatencyModel(jitter=0.0)
+        user = SimulatedUser(model)
+        actions = user.formulate(q1_instance)
+        for current, nxt in zip(actions, actions[1:]):
+            if current.latency_after is None:
+                continue
+            assert current.latency_after == pytest.approx(model.action_time(nxt))
+
+
+class TestEdgeOrder:
+    def test_custom_order_respected(self, user, q1_instance):
+        actions = user.formulate(q1_instance, edge_order=(3, 2, 1))
+        edges = [
+            (a.u, a.v) for a in actions if isinstance(a, NewEdge)
+        ]
+        template = q1_instance.template
+        assert edges == [template.edges[2], template.edges[1], template.edges[0]]
+
+    def test_order_changes_vertex_sequence(self, user, q1_instance):
+        default = user.formulate(q1_instance)
+        reordered = user.formulate(q1_instance, edge_order=(3, 2, 1))
+        first_vertices = [
+            a.vertex_id for a in default if isinstance(a, NewVertex)
+        ]
+        second_vertices = [
+            a.vertex_id for a in reordered if isinstance(a, NewVertex)
+        ]
+        assert first_vertices != second_vertices
+
+    def test_invalid_order_rejected(self, user, q1_instance):
+        with pytest.raises(ExperimentError):
+            user.formulate(q1_instance, edge_order=(1, 1, 2))
+        with pytest.raises(ExperimentError):
+            user.formulate(q1_instance, edge_order=(1, 2))
+
+
+def test_all_templates_formulate(user):
+    graph = build_fig2_graph()
+    for name in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6"):
+        template = get_template(name)
+        instance = instantiate(name, graph, seed=3)
+        actions = user.formulate(instance)
+        assert isinstance(actions[-1], Run)
+        n_vertices = sum(1 for a in actions if isinstance(a, NewVertex))
+        n_edges = sum(1 for a in actions if isinstance(a, NewEdge))
+        assert n_vertices == template.num_vertices
+        assert n_edges == template.num_edges

@@ -1,0 +1,87 @@
+"""Tests for the SPath-style k-neighborhood index."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.graph.algorithms import bfs_distances
+from repro.indexing.kneighborhood import KNeighborhoodIndex
+from tests.conftest import build_fig2_graph, build_path_graph
+
+
+@pytest.fixture(scope="module")
+def fig2_k2():
+    return KNeighborhoodIndex(build_fig2_graph(), k=2)
+
+
+class TestSignatures:
+    def test_signature_min_distances_exact(self, fig2_k2):
+        graph = build_fig2_graph()
+        for v in range(graph.num_vertices):
+            truth = bfs_distances(graph, v)
+            expected = {}
+            for w in range(graph.num_vertices):
+                d = int(truth[w])
+                if w != v and 1 <= d <= 2:
+                    label = graph.label(w)
+                    expected[label] = min(expected.get(label, 99), d)
+            assert fig2_k2.signature(v) == expected
+
+    def test_signature_excludes_self_label_unless_neighbor(self):
+        g = build_path_graph(3, label="P")
+        index = KNeighborhoodIndex(g, k=1)
+        assert index.signature(0) == {"P": 1}
+
+    def test_k_validation(self):
+        with pytest.raises(IndexError_):
+            KNeighborhoodIndex(build_path_graph(3), k=0)
+
+
+class TestQueries:
+    def test_has_label_within(self, fig2_k2):
+        # v2 (id 1) has B neighbor v5 (id 4)
+        assert fig2_k2.has_label_within(1, "B", 1)
+        # v1 (id 0) has no B within 1 hop but none within 2 either? v1-v9-v5? v9 (8) adj v5 (4): yes within 2
+        assert not fig2_k2.has_label_within(0, "B", 1)
+        assert fig2_k2.has_label_within(0, "B", 2)
+
+    def test_bound_above_k_rejected(self, fig2_k2):
+        with pytest.raises(IndexError_):
+            fig2_k2.has_label_within(0, "B", 3)
+
+    def test_vertices_with_label_within_matches_bfs(self, fig2_k2):
+        graph = build_fig2_graph()
+        got = set(fig2_k2.vertices_with_label_within("C", 2))
+        want = set()
+        for v in range(graph.num_vertices):
+            truth = bfs_distances(graph, v)
+            for w in range(graph.num_vertices):
+                if w != v and graph.label(w) == "C" and 1 <= int(truth[w]) <= 2:
+                    want.add(v)
+                    break
+        assert got == want
+
+
+class TestFootprint:
+    def test_entries_accounting(self, fig2_k2):
+        total = sum(len(fig2_k2.signature(v)) for v in range(12))
+        assert fig2_k2.total_entries() == total
+        assert fig2_k2.average_signature_size() == pytest.approx(total / 12)
+
+    def test_footprint_grows_with_k(self):
+        graph = build_fig2_graph()
+        sizes = [
+            KNeighborhoodIndex(graph, k=k).total_entries() for k in (1, 2, 3)
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[2] > sizes[0]
+
+    def test_large_k_stores_most_of_graph(self):
+        """The paper's Remark: for larger k the signatures approach storing
+        (label-projections of) the whole graph from every vertex."""
+        graph = build_fig2_graph()
+        index = KNeighborhoodIndex(graph, k=8)
+        # with diameter-scale k, nearly every vertex sees every label
+        num_labels = len(graph.distinct_labels())
+        assert index.average_signature_size() > 0.75 * num_labels
+        # and strictly more than the 1-hop signatures store
+        assert index.total_entries() > KNeighborhoodIndex(graph, k=1).total_entries()

@@ -1,0 +1,45 @@
+"""Tests for two-hop neighborhood utilities."""
+
+from repro.graph.algorithms import k_hop_neighborhood
+from repro.graph.builder import GraphBuilder
+from repro.indexing.twohop import two_hop_counts, two_hop_neighbors
+from tests.conftest import build_cycle_graph, build_fig2_graph, build_path_graph
+
+
+def test_counts_match_sets():
+    g = build_fig2_graph()
+    counts = two_hop_counts(g)
+    for v in range(g.num_vertices):
+        assert counts[v] == len(two_hop_neighbors(g, v))
+
+
+def test_sets_match_bfs_two_hop():
+    g = build_fig2_graph()
+    for v in range(g.num_vertices):
+        assert two_hop_neighbors(g, v) == k_hop_neighborhood(g, v, 2)
+
+
+def test_path_counts():
+    g = build_path_graph(5)
+    # middle vertex sees 4 others within 2 hops
+    assert two_hop_counts(g)[2] == 4
+    assert two_hop_counts(g)[0] == 2
+
+
+def test_cycle_counts():
+    g = build_cycle_graph(6)
+    assert all(c == 4 for c in two_hop_counts(g))
+
+
+def test_excludes_self():
+    g = build_cycle_graph(4)
+    for v in range(4):
+        assert v not in two_hop_neighbors(g, v)
+
+
+def test_isolated_vertex():
+    b = GraphBuilder()
+    b.add_vertices("ab")
+    g = b.build()
+    assert list(two_hop_counts(g)) == [0, 0]
+    assert two_hop_neighbors(g, 0) == set()

@@ -1,0 +1,106 @@
+"""Property-based tests on CAP construction and enumeration.
+
+The big invariant: for any random graph, any random connected BPH query,
+and any strategy, the blended pipeline's V_Delta equals the brute-force
+reference, and the CAP index passes its internal consistency check.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.cost import GUILatencyConstants
+from repro.core.preprocessor import make_context, preprocess
+from repro.core.query import BPHQuery
+from tests.conftest import brute_force_upper_matches
+from tests.test_property_graph import labeled_graphs
+
+
+@st.composite
+def connected_queries(draw):
+    num_q = draw(st.integers(min_value=1, max_value=4))
+    labels = draw(st.lists(st.sampled_from("ABC"), min_size=num_q, max_size=num_q))
+    query = BPHQuery()
+    for i, label in enumerate(labels):
+        query.add_vertex(label, vertex_id=i)
+    edges = set()
+    for i in range(1, num_q):
+        parent = draw(st.integers(0, i - 1))
+        edges.add((parent, i))
+    possible = [
+        (a, b)
+        for a in range(num_q)
+        for b in range(a + 1, num_q)
+        if (a, b) not in edges
+    ]
+    if possible:
+        extra = draw(st.lists(st.sampled_from(possible), unique=True, max_size=3))
+        edges.update(extra)
+    for u, v in sorted(edges):
+        lower = draw(st.integers(1, 2))
+        upper = lower + draw(st.integers(0, 2))
+        query.add_edge(u, v, lower, upper)
+    return query
+
+
+def run_blended(graph, query, strategy, pruning=True):
+    pre = preprocess(graph, t_avg_samples=50)
+    ctx = make_context(pre, latency=GUILatencyConstants().scaled(1e-4))
+    boomer = Boomer(ctx, strategy=strategy, pruning=pruning)
+    for qid in query.vertex_ids():
+        boomer.apply(NewVertex(qid, query.label(qid)))
+    for edge in query.edges():
+        boomer.apply(NewEdge(edge.u, edge.v, edge.lower, edge.upper))
+    boomer.apply(Run())
+    return boomer
+
+
+@given(labeled_graphs(max_n=10), connected_queries(), st.sampled_from(["IC", "DR", "DI"]))
+@settings(max_examples=40, deadline=None)
+def test_v_delta_equals_brute_force(graph, query, strategy):
+    boomer = run_blended(graph, query, strategy)
+    got = {tuple(sorted(m.items())) for m in boomer.run_result.matches}
+    want = brute_force_upper_matches(graph, query)
+    assert got == want
+
+
+@given(labeled_graphs(max_n=10), connected_queries())
+@settings(max_examples=30, deadline=None)
+def test_cap_consistency_after_construction(graph, query):
+    boomer = run_blended(graph, query, "DI")
+    boomer.cap.check_consistency(boomer.query)
+
+
+@given(labeled_graphs(max_n=10), connected_queries())
+@settings(max_examples=25, deadline=None)
+def test_pruning_never_changes_answers(graph, query):
+    with_pruning = run_blended(graph, query, "IC", pruning=True)
+    without = run_blended(graph, query, "IC", pruning=False)
+    key = lambda b: {tuple(sorted(m.items())) for m in b.run_result.matches}
+    assert key(with_pruning) == key(without)
+    # and pruning can only shrink the final index
+    assert (
+        with_pruning.cap.size_report().total <= without.cap.size_report().total
+    )
+
+
+@given(labeled_graphs(max_n=10), connected_queries())
+@settings(max_examples=25, deadline=None)
+def test_peak_at_least_final(graph, query):
+    boomer = run_blended(graph, query, "IC")
+    assert boomer.cap.peak_total >= boomer.cap.size_report().total
+
+
+@given(labeled_graphs(max_n=9), connected_queries())
+@settings(max_examples=25, deadline=None)
+def test_every_match_satisfies_upper_bounds(graph, query):
+    """Soundness proven directly from graph distances, not the reference."""
+    from repro.graph.algorithms import bfs_distances
+
+    boomer = run_blended(graph, query, "DR")
+    for match in boomer.run_result.matches:
+        assert len(set(match.values())) == len(match)
+        for edge in query.edges():
+            d = int(bfs_distances(graph, match[edge.u])[match[edge.v]])
+            assert 0 < d <= edge.upper, (match, edge.key, d)

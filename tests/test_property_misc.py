@@ -1,0 +1,100 @@
+"""Cheap property tests on value objects and formatting."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.actions import DeleteEdge, ModifyBounds, NewEdge, NewVertex, Run
+from repro.core.query import Bounds, canonical_edge
+from repro.errors import BoundsError
+from repro.gui.recording import action_from_dict, action_to_dict
+from repro.utils.fmt import ascii_table, format_count, format_duration
+
+
+@given(st.integers(1, 100), st.integers(0, 100))
+def test_bounds_valid_iff_lower_le_upper(lower, delta):
+    bounds = Bounds(lower, lower + delta)
+    assert bounds.contains(lower)
+    assert bounds.contains(lower + delta)
+    assert not bounds.contains(lower - 1)
+    assert not bounds.contains(lower + delta + 1)
+
+
+@given(st.integers(-5, 100), st.integers(-100, 100))
+def test_bounds_rejects_invalid(lower, upper):
+    valid = lower >= 1 and lower <= upper
+    try:
+        Bounds(lower, upper)
+        created = True
+    except BoundsError:
+        created = False
+    assert created == valid
+
+
+@given(st.integers(0, 1000), st.integers(0, 1000))
+def test_canonical_edge_properties(u, v):
+    a, b = canonical_edge(u, v)
+    assert a <= b
+    assert {a, b} == {u, v}
+    assert canonical_edge(v, u) == (a, b)
+
+
+_actions = st.one_of(
+    st.builds(
+        NewVertex,
+        vertex_id=st.integers(0, 50),
+        label=st.one_of(st.text(max_size=8), st.integers(-5, 5)),
+        latency_after=st.one_of(st.none(), st.floats(0, 10, allow_nan=False)),
+    ),
+    st.builds(
+        NewEdge,
+        u=st.integers(0, 50),
+        v=st.integers(0, 50),
+        lower=st.integers(1, 5),
+        upper=st.integers(5, 10),
+        latency_after=st.one_of(st.none(), st.floats(0, 10, allow_nan=False)),
+    ),
+    st.builds(
+        ModifyBounds,
+        u=st.integers(0, 50),
+        v=st.integers(0, 50),
+        lower=st.integers(1, 5),
+        upper=st.integers(5, 10),
+    ),
+    st.builds(DeleteEdge, u=st.integers(0, 50), v=st.integers(0, 50)),
+    st.builds(Run),
+)
+
+
+@given(_actions)
+@settings(max_examples=100, deadline=None)
+def test_action_recording_roundtrip(action):
+    assert action_from_dict(action_to_dict(action)) == action
+
+
+@given(st.floats(min_value=0, max_value=1e5, allow_nan=False))
+def test_format_duration_total(seconds):
+    text = format_duration(seconds)
+    assert any(text.endswith(unit) for unit in ("us", "ms", "s", "min"))
+
+
+@given(st.integers(0, 10**12))
+def test_format_count_roundtrip(n):
+    assert int(format_count(n).replace(",", "")) == n
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.one_of(st.integers(-1000, 1000), st.text(max_size=6)),
+            min_size=2,
+            max_size=2,
+        ),
+        max_size=8,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_ascii_table_rows_aligned(rows):
+    out = ascii_table(["a", "b"], rows)
+    body = [line for line in out.splitlines() if line.startswith(("|", "+"))]
+    widths = {len(line) for line in body}
+    assert len(widths) == 1  # every border/row line has the same width

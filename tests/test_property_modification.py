@@ -1,0 +1,105 @@
+"""Property test: query modification is equivalent to re-formulation.
+
+For random graphs, random connected queries, and a random sequence of
+bound modifications, a session that formulates then *edits* must produce
+exactly the matches of a fresh session formulating the final query.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.actions import ModifyBounds, NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.cost import GUILatencyConstants
+from repro.core.preprocessor import make_context, preprocess
+from tests.test_property_cap import connected_queries
+from tests.test_property_graph import labeled_graphs
+
+
+def formulate(boomer, query):
+    for qid in query.vertex_ids():
+        boomer.apply(NewVertex(qid, query.label(qid)))
+    for edge in query.edges():
+        boomer.apply(NewEdge(edge.u, edge.v, edge.lower, edge.upper))
+
+
+def keys(run_result):
+    return {tuple(sorted(m.items())) for m in run_result.matches}
+
+
+@given(
+    labeled_graphs(max_n=10),
+    connected_queries(),
+    st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_bound_edits_equal_fresh_formulation(graph, query, data):
+    if query.num_edges == 0:
+        return
+    pre = preprocess(graph, t_avg_samples=50)
+    latency = GUILatencyConstants().scaled(1e-4)
+
+    # Draw a random sequence of 1-3 bound edits on random edges.
+    edits = []
+    num_edits = data.draw(st.integers(1, 3))
+    edge_list = query.edges()
+    for _ in range(num_edits):
+        edge = edge_list[data.draw(st.integers(0, len(edge_list) - 1))]
+        lower = data.draw(st.integers(1, 3))
+        upper = lower + data.draw(st.integers(0, 2))
+        edits.append((edge.u, edge.v, lower, upper))
+
+    strategy = data.draw(st.sampled_from(["IC", "DR", "DI"]))
+    edited = Boomer(make_context(pre, latency=latency), strategy=strategy)
+    formulate(edited, query)
+    for u, v, lower, upper in edits:
+        edited.apply(ModifyBounds(u, v, lower, upper))
+    edited.apply(Run())
+
+    final_query = query.copy()
+    for u, v, lower, upper in edits:
+        final_query.set_bounds(u, v, lower, upper)
+    fresh = Boomer(make_context(pre, latency=latency), strategy="IC")
+    formulate(fresh, final_query)
+    fresh.apply(Run())
+
+    assert keys(edited.run_result) == keys(fresh.run_result)
+    edited.cap.check_consistency(edited.query)
+
+
+@given(
+    labeled_graphs(max_n=10),
+    connected_queries(),
+    st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_deletion_equals_fresh_formulation(graph, query, data):
+    # Find an edge whose removal keeps the query connected (cycle edge).
+    removable = []
+    for edge in query.edges():
+        probe = query.copy()
+        probe.remove_edge(edge.u, edge.v)
+        if probe.is_connected():
+            removable.append(edge)
+    if not removable:
+        return  # tree query: every deletion disconnects; nothing to test
+    target = removable[data.draw(st.integers(0, len(removable) - 1))]
+    strategy = data.draw(st.sampled_from(["IC", "DR", "DI"]))
+
+    from repro.core.actions import DeleteEdge
+
+    pre = preprocess(graph, t_avg_samples=50)
+    latency = GUILatencyConstants().scaled(1e-4)
+    edited = Boomer(make_context(pre, latency=latency), strategy=strategy)
+    formulate(edited, query)
+    edited.apply(DeleteEdge(target.u, target.v))
+    edited.apply(Run())
+
+    final_query = query.copy()
+    final_query.remove_edge(target.u, target.v)
+    fresh = Boomer(make_context(pre, latency=latency), strategy="IC")
+    formulate(fresh, final_query)
+    fresh.apply(Run())
+
+    assert keys(edited.run_result) == keys(fresh.run_result)
+    edited.cap.check_consistency(edited.query)

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.fmt."""
+
+import pytest
+
+from repro.utils.fmt import ascii_table, format_count, format_duration
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.000002, "2.00us"),
+            (0.0005, "500.00us"),
+            (0.0451, "45.10ms"),
+            (0.9999, "999.90ms"),
+            (3.2, "3.20s"),
+            (119.0, "119.00s"),
+            (180.0, "3.0min"),
+        ],
+    )
+    def test_units(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative(self):
+        assert format_duration(-3.2) == "-3.20s"
+
+    def test_zero(self):
+        assert format_duration(0.0) == "0.00us"
+
+
+class TestFormatCount:
+    def test_thousands_separator(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_float_rounds(self):
+        assert format_count(12.6) == "13"
+
+    def test_small(self):
+        assert format_count(0) == "0"
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        out = ascii_table(["name", "value"], [["alpha", 1], ["beta", 22]])
+        assert "name" in out
+        assert "alpha" in out
+        assert "22" in out
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment_widths(self):
+        out = ascii_table(["col"], [["looooooong"], ["x"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_numeric_right_alignment(self):
+        out = ascii_table(["n"], [[5], [12345]])
+        rows = [l for l in out.splitlines() if l.startswith("|")][1:]
+        # the short number is right-aligned against the long one
+        assert rows[1].index("5") < rows[1].index("|", 1)
+        assert rows[0].rstrip("| ").endswith("5")
+
+    def test_empty_rows(self):
+        out = ascii_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_float_formatting(self):
+        out = ascii_table(["x"], [[3.14159265]])
+        assert "3.142" in out

@@ -1,0 +1,122 @@
+"""Tests for query-instance generation."""
+
+import pytest
+
+from repro.core.query import Bounds
+from repro.errors import ExperimentError
+from repro.graph.builder import GraphBuilder
+from repro.workload.generator import (
+    QueryInstance,
+    instantiate,
+    instantiate_from_region,
+    paper_query_set,
+)
+from repro.workload.templates import get_template
+from tests.conftest import build_fig2_graph
+
+
+class TestInstantiate:
+    def test_deterministic(self):
+        g = build_fig2_graph()
+        a = instantiate("Q1", g, seed=5)
+        b = instantiate("Q1", g, seed=5)
+        assert a.labels == b.labels
+
+    def test_seed_varies_labels(self):
+        g = build_fig2_graph()
+        variants = {instantiate("Q2", g, seed=s).labels for s in range(8)}
+        assert len(variants) > 1
+
+    def test_labels_exist_in_graph(self):
+        g = build_fig2_graph()
+        inst = instantiate("Q2", g, seed=3)
+        for label in inst.labels:
+            assert len(g.vertices_with_label(label)) > 0
+
+    def test_default_bounds_copied(self):
+        g = build_fig2_graph()
+        inst = instantiate("Q1", g, seed=0)
+        assert inst.bounds == get_template("Q1").default_bounds
+
+    def test_name_format(self):
+        g = build_fig2_graph()
+        inst = instantiate("Q1", g, seed=2, dataset="wn")
+        assert inst.name == "Q1@wn#2"
+
+    def test_graph_too_small(self):
+        b = GraphBuilder()
+        b.add_vertex("A")
+        with pytest.raises(ExperimentError):
+            instantiate_from_region(get_template("Q5"), b.build())
+
+    def test_region_sampling_needs_connectivity(self):
+        b = GraphBuilder()
+        b.add_vertices("abcde")  # 5 isolated vertices, Q1 needs a walk of 3
+        with pytest.raises(ExperimentError):
+            instantiate_from_region(get_template("Q1"), b.build())
+
+
+class TestOverrides:
+    @pytest.fixture()
+    def inst(self):
+        return instantiate("Q1", build_fig2_graph(), seed=1)
+
+    def test_with_bounds(self, inst):
+        out = inst.with_bounds({2: Bounds(2, 4)}, tag="x")
+        assert out.bounds[1] == Bounds(2, 4)
+        assert out.bounds[0] == inst.bounds[0]
+        assert out.tag == "x"
+        assert "x" in out.name
+
+    def test_with_upper_preserves_lower(self, inst):
+        base = inst.with_bounds({1: Bounds(1, 2)})
+        out = base.with_upper({1: 5})
+        assert out.bounds[0] == Bounds(1, 5)
+
+    def test_with_upper_clamps_lower(self, inst):
+        base = inst.with_bounds({1: Bounds(2, 3)})
+        out = base.with_upper({1: 1})
+        assert out.bounds[0] == Bounds(1, 1)
+
+    def test_unknown_edge_rejected(self, inst):
+        with pytest.raises(ExperimentError):
+            inst.with_upper({9: 5})
+
+    def test_original_unchanged(self, inst):
+        _ = inst.with_upper({1: 9})
+        assert inst.bounds == get_template("Q1").default_bounds
+
+
+class TestBuildQuery:
+    def test_structure(self):
+        inst = instantiate("Q2", build_fig2_graph(), seed=1)
+        query = inst.build_query()
+        assert query.num_vertices == 4
+        assert query.num_edges == 4
+        # 1-based vertex ids matching the paper
+        assert query.vertex_ids() == [1, 2, 3, 4]
+        for (u, v), bounds in zip(inst.template.edges, inst.bounds):
+            assert query.edge_between(u, v).bounds == bounds
+
+    def test_validation_mismatch_rejected(self):
+        template = get_template("Q1")
+        with pytest.raises(ExperimentError):
+            QueryInstance(template=template, labels=("A",), bounds=template.default_bounds)
+        with pytest.raises(ExperimentError):
+            QueryInstance(
+                template=template, labels=("A", "B", "C"), bounds=(Bounds(),)
+            )
+
+
+class TestPaperQuerySet:
+    def test_population(self):
+        g = build_fig2_graph()
+        instances = paper_query_set(g, dataset="fig2", seeds_per_template=2)
+        assert len(instances) == 12  # 6 templates x 2 seeds
+        names = {i.template.name for i in instances}
+        assert names == {"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"}
+
+    def test_unique_names(self):
+        g = build_fig2_graph()
+        instances = paper_query_set(g, dataset="fig2")
+        assert len({i.name for i in instances}) == len(instances)

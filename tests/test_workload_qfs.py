@@ -1,0 +1,38 @@
+"""Tests for the Table-2 QFS definitions."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.workload.qfs import QFS_SEQUENCES, qfs_edge_order
+from repro.workload.templates import get_template
+
+
+def test_table2_q1_sequences():
+    assert qfs_edge_order("Q1", "S1") == (1, 2, 3)
+    assert qfs_edge_order("Q1", "S2") == (2, 1, 3)
+    assert qfs_edge_order("Q1", "S3") == (3, 2, 1)
+
+
+def test_table2_q6_sequences():
+    assert qfs_edge_order("Q6", "S1") == (1, 2, 3, 4, 5, 6)
+    assert qfs_edge_order("Q6", "S2") == (4, 1, 2, 3, 5, 6)
+    assert qfs_edge_order("Q6", "S3") == (2, 3, 4, 1, 5, 6)
+    assert qfs_edge_order("Q6", "S4") == (5, 6, 2, 3, 4, 1)
+
+
+def test_case_insensitive():
+    assert qfs_edge_order("q6", "s2") == (4, 1, 2, 3, 5, 6)
+
+
+def test_unknown_combination_rejected():
+    with pytest.raises(ExperimentError):
+        qfs_edge_order("Q1", "S4")
+    with pytest.raises(ExperimentError):
+        qfs_edge_order("Q2", "S1")
+
+
+def test_sequences_are_permutations():
+    for template_name, sequences in QFS_SEQUENCES.items():
+        num_edges = get_template(template_name).num_edges
+        for order in sequences.values():
+            assert sorted(order) == list(range(1, num_edges + 1))

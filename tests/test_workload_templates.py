@@ -1,0 +1,121 @@
+"""Tests for the Q1-Q6 template definitions (Figure 4)."""
+
+import pytest
+
+from repro.core.query import Bounds
+from repro.errors import ExperimentError
+from repro.workload.templates import (
+    TEMPLATES,
+    QueryTemplate,
+    get_template,
+    template_names,
+)
+
+
+def test_six_templates():
+    assert template_names() == ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+
+
+def test_lookup_case_insensitive():
+    assert get_template("q3") is TEMPLATES["Q3"]
+
+
+def test_unknown_rejected():
+    with pytest.raises(ExperimentError):
+        get_template("Q9")
+
+
+@pytest.mark.parametrize("name", template_names())
+def test_template_well_formed(name):
+    t = get_template(name)
+    assert t.num_edges == len(t.default_bounds)
+    seen = set()
+    for u, v in t.edges:
+        assert 1 <= u <= t.num_vertices
+        assert 1 <= v <= t.num_vertices
+        assert u != v
+        key = (min(u, v), max(u, v))
+        assert key not in seen  # simple
+        seen.add(key)
+    # connected: union-find over edges
+    parent = list(range(t.num_vertices + 1))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in t.edges:
+        parent[find(u)] = find(v)
+    roots = {find(q) for q in range(1, t.num_vertices + 1)}
+    assert len(roots) == 1
+
+
+def test_paper_topology_constraints():
+    # Kinds per Figure 4's caption.
+    assert get_template("Q1").kind == "cycle"
+    assert get_template("Q2").kind == "cycle"
+    assert get_template("Q4").kind == "cycle"
+    assert get_template("Q5").kind == "star"
+    assert get_template("Q3").kind == "flower"
+    assert get_template("Q6").kind == "flower"
+    # Q5 has e1..e4 but no e5/e6 (Table 1); Q6 has e1..e6 (Table 2).
+    assert get_template("Q5").num_edges == 4
+    assert get_template("Q6").num_edges == 6
+    # Q4 has e1..e5 (Table 1 reports e5 for Q4).
+    assert get_template("Q4").num_edges == 5
+    # Q3 has an e3 (Exp 3 overrides it).
+    assert get_template("Q3").num_edges >= 3
+
+
+def test_cycles_are_cycles():
+    for name, length in (("Q1", 3), ("Q2", 4), ("Q4", 5)):
+        t = get_template(name)
+        assert t.num_vertices == length
+        assert t.num_edges == length
+        degree = {q: 0 for q in range(1, length + 1)}
+        for u, v in t.edges:
+            degree[u] += 1
+            degree[v] += 1
+        assert all(d == 2 for d in degree.values())
+
+
+def test_star_shape():
+    t = get_template("Q5")
+    assert all(1 in edge for edge in t.edges)  # hub is q1
+
+
+def test_edge_index():
+    t = get_template("Q1")
+    assert t.edge_index(1, 2) == 1
+    assert t.edge_index(2, 1) == 1
+    assert t.edge_index(1, 3) == 3
+    with pytest.raises(ExperimentError):
+        t.edge_index(2, 2)
+
+
+def test_f_avg_ordering_plausible():
+    # Bigger templates take longer to draw.
+    assert get_template("Q1").f_avg_seconds < get_template("Q6").f_avg_seconds
+
+
+def test_invalid_template_construction_rejected():
+    with pytest.raises(ExperimentError):
+        QueryTemplate(
+            name="bad",
+            kind="cycle",
+            num_vertices=2,
+            edges=((1, 2),),
+            default_bounds=(),
+            f_avg_seconds=1.0,
+        )
+    with pytest.raises(ExperimentError):
+        QueryTemplate(
+            name="bad2",
+            kind="cycle",
+            num_vertices=2,
+            edges=((1, 5),),
+            default_bounds=(Bounds(1, 1),),
+            f_avg_seconds=1.0,
+        )
