@@ -1,0 +1,91 @@
+"""Resilience-layer overhead — fault-free sessions must stay within 5%.
+
+The resilience wrapper sits on the hottest paths (``process_edge``, pool
+probing, the Run drain) even when nothing ever fails, so its fault-free
+cost is the price every protected session pays.  This bench runs the same
+Exp-3 query with resilience off and with the default posture (retries +
+degradation armed, no deadline, no audit), interleaved to decorrelate
+machine noise, and compares median wall time.
+
+Expected shape: overhead is one extra function call per processed edge
+plus a couple of no-op checkpoints per pool probe — well under the 5%
+budget.  The match sets must be identical: a fault-free protected run may
+never change answers.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import ASSERT_SHAPES, SCALE
+from repro.datasets.registry import get_dataset
+from repro.experiments.exp3_strategies import exp3_instance
+from repro.experiments.harness import session_for
+from repro.resilience import ResilienceConfig
+
+REPEATS = 7
+#: 5% relative budget, with a tiny absolute floor so micro-second sessions
+#: (tiny scale) don't fail on scheduler jitter alone.
+RELATIVE_BUDGET = 0.05
+ABSOLUTE_FLOOR_SECONDS = 0.002
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return get_dataset("wordnet", SCALE)
+
+
+@pytest.fixture(scope="module")
+def instance(bundle):
+    return exp3_instance("wordnet", "Q1", bundle.graph)
+
+
+def _run_once(bundle, instance, resilience):
+    session = session_for(bundle)
+    session.resilience = resilience
+    start = time.perf_counter()
+    result = session.run(instance, strategy="DI")
+    return time.perf_counter() - start, result
+
+
+def match_set(matches):
+    return sorted(tuple(sorted(m.items())) for m in matches)
+
+
+def test_fault_free_overhead_within_budget(bundle, instance, benchmark):
+    protected_config = ResilienceConfig.default()
+    baseline_times, protected_times = [], []
+    baseline_result = protected_result = None
+    for _ in range(REPEATS):  # interleaved: both arms see the same noise
+        elapsed, baseline_result = _run_once(bundle, instance, None)
+        baseline_times.append(elapsed)
+        elapsed, protected_result = _run_once(bundle, instance, protected_config)
+        protected_times.append(elapsed)
+
+    baseline = statistics.median(baseline_times)
+    protected = statistics.median(protected_times)
+    overhead = protected - baseline
+    print(
+        f"\nresilience overhead ({SCALE}, median of {REPEATS}): "
+        f"baseline {baseline * 1e3:.2f} ms, protected {protected * 1e3:.2f} ms, "
+        f"overhead {overhead * 1e3:+.2f} ms ({overhead / baseline:+.1%})"
+    )
+
+    # Fault-free protection may never change answers (degradation unused).
+    assert not protected_result.degraded
+    assert match_set(protected_result.run.matches) == match_set(
+        baseline_result.run.matches
+    )
+    if ASSERT_SHAPES:
+        budget = max(baseline * RELATIVE_BUDGET, ABSOLUTE_FLOOR_SECONDS)
+        assert overhead <= budget, (
+            f"resilience overhead {overhead * 1e3:.2f} ms exceeds "
+            f"budget {budget * 1e3:.2f} ms"
+        )
+
+    benchmark.pedantic(
+        lambda: _run_once(bundle, instance, protected_config),
+        rounds=3,
+        iterations=1,
+    )

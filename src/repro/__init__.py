@@ -43,7 +43,16 @@ from repro.core import (
     preprocess,
 )
 from repro.baseline import BoomerUnaware
-from repro.errors import ReproError
+from repro.errors import (
+    CAPCorruptionError,
+    DeadlineExceededError,
+    DegradedModeError,
+    ReproError,
+    ResilienceError,
+    RetryExhaustedError,
+)
+from repro.faults import FaultPlan
+from repro.resilience import Deadline, ResilienceConfig, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -63,5 +72,14 @@ __all__ = [
     "preprocess",
     "BoomerUnaware",
     "ReproError",
+    "ResilienceError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
+    "CAPCorruptionError",
+    "DegradedModeError",
+    "FaultPlan",
+    "Deadline",
+    "ResilienceConfig",
+    "RetryPolicy",
     "__version__",
 ]

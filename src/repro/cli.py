@@ -17,25 +17,52 @@ The query file mirrors the visual formulation stream, one action per line
 Lines are replayed through the blender in file order, so the file *is* the
 formulation sequence (vertex ids may be any integers; edges may only
 reference already-declared vertices).
+
+``query`` and ``replay`` accept resilience options: ``--resilience``
+(off/default/strict/paranoid), ``--deadline`` (Run-phase budget, seconds),
+and ``--fault-plan`` (a :class:`repro.faults.FaultPlan` JSON file or
+inline JSON, for reproducing failure scenarios).
+
+Exit codes are distinct so scripts can branch on the outcome::
+
+    0  success (CAP path)
+    1  error (bad input, protocol violation, unhandled failure)
+    2  success but *degraded* — matches came from the BU fallback ladder
+    3  deadline exceeded
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.actions import Action, NewEdge, NewVertex, Run
 from repro.core.blender import Boomer
 from repro.core.preprocessor import make_context, preprocess
 from repro.core.ranking import RANKINGS, rank_results
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, ReproError
+from repro.faults import FaultPlan
 from repro.graph.generators import dblp_like, flickr_like, wordnet_like
 from repro.graph.io import load_edge_list, save_edge_list
 from repro.graph.stats import compute_stats
 from repro.gui.render import to_dot, to_text
+from repro.resilience import ResilienceConfig
 
-__all__ = ["main", "parse_query_file"]
+__all__ = [
+    "main",
+    "parse_query_file",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_DEGRADED",
+    "EXIT_DEADLINE",
+]
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_DEGRADED = 2
+EXIT_DEADLINE = 3
 
 _GENERATORS = {
     "wordnet": wordnet_like,
@@ -93,6 +120,34 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    raw = getattr(args, "fault_plan", None)
+    return FaultPlan.from_json(raw) if raw else None
+
+
+def _resilience_config(
+    args: argparse.Namespace, plan: FaultPlan | None
+) -> ResilienceConfig | None:
+    """Assemble the resilience posture the flags describe (None = off)."""
+    mode = getattr(args, "resilience", "off")
+    deadline = getattr(args, "deadline", None)
+    if mode == "off" and deadline is None:
+        return None
+    if mode == "strict":
+        config = ResilienceConfig.strict()
+    elif mode == "paranoid":
+        config = ResilienceConfig.paranoid()
+    else:  # "default", or "off" upgraded by --deadline
+        config = ResilienceConfig.default()
+    if deadline is not None:
+        config = replace(config, deadline_seconds=deadline)
+    if plan is not None and plan.cap is not None and not config.verify_cap_on_run:
+        # Injected storage rot without an audit could silently change
+        # answers; storage is known untrusted here, so verification is on.
+        config = replace(config, verify_cap_on_run=True)
+    return config
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.graph)
     print(f"loaded {graph}", file=sys.stderr)
@@ -100,12 +155,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
     print(pre.summary(), file=sys.stderr)
 
+    plan = _load_fault_plan(args)
+    config = _resilience_config(args, plan)
+    ctx = make_context(pre)
+    if plan is not None:
+        ctx = plan.wrap_context(ctx)
     boomer = Boomer(
-        make_context(pre),
+        ctx,
         strategy=args.strategy,
         max_results=args.max_matches,
+        resilience=config,
     )
-    boomer.execute_stream(actions)
+    for action in actions[:-1]:
+        boomer.apply(action)
+    if plan is not None:
+        # Storage rot lands after formulation, right before the Run click.
+        plan.corrupt_cap(boomer.cap)
+    boomer.apply(actions[-1])
     run = boomer.run_result
     print(
         f"V_delta: {run.num_matches} upper-bound matches"
@@ -114,6 +180,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"CAP size {run.cap_size.total}",
         file=sys.stderr,
     )
+    if run.degraded:
+        print(
+            f"DEGRADED: {run.degradation_reason} -> fallback {run.fallback}",
+            file=sys.stderr,
+        )
 
     results = boomer.results(limit=args.limit)
     if args.rank:
@@ -128,7 +199,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             to_dot(results[0], graph, boomer.query), encoding="utf-8"
         )
         print(f"\nDOT of top match written to {args.dot}", file=sys.stderr)
-    return 0
+    return EXIT_DEGRADED if run.degraded else EXIT_OK
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -139,7 +210,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     actions = load_actions(args.recording)
     pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
     print(pre.summary(), file=sys.stderr)
-    session = VisualSession(make_context(pre))
+    plan = _load_fault_plan(args)
+    session = VisualSession(
+        make_context(pre),
+        resilience=_resilience_config(args, plan),
+        fault_plan=plan,
+    )
     result = session.run_actions(
         actions,
         instance_name=str(args.recording),
@@ -153,10 +229,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"CAP time {result.cap_construction_seconds * 1e3:.2f} ms",
         file=sys.stderr,
     )
+    if result.degraded:
+        print(
+            f"DEGRADED: {result.run.degradation_reason} -> fallback {result.fallback}",
+            file=sys.stderr,
+        )
     for subgraph in result.boomer.results(limit=args.limit):
         print()
         print(to_text(subgraph, graph, result.boomer.query))
-    return 0
+    return EXIT_DEGRADED if result.degraded else EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--rank", choices=sorted(RANKINGS), default=None)
     query.add_argument("--dot", default=None, help="write top match as DOT here")
     query.add_argument("--t-avg-samples", type=int, default=5000)
+    _add_resilience_flags(query)
     query.set_defaults(func=_cmd_query)
 
     replay = sub.add_parser(
@@ -199,19 +281,45 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--limit", type=int, default=10)
     replay.add_argument("--max-matches", type=int, default=100_000)
     replay.add_argument("--t-avg-samples", type=int, default=5000)
+    _add_resilience_flags(replay)
     replay.set_defaults(func=_cmd_replay)
     return parser
 
 
+def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--resilience",
+        choices=("off", "default", "strict", "paranoid"),
+        default="off",
+        help="resilience posture (retries, degradation, CAP verification)",
+    )
+    sub.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="Run-phase wall-clock budget (implies --resilience default)",
+    )
+    sub.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON",
+        help="fault-injection plan: a JSON file path or inline JSON",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns an exit code."""
+    """CLI entry point; returns an exit code (see module docstring)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except DeadlineExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

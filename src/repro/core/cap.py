@@ -315,44 +315,79 @@ class CAPIndex:
             aivs_pairs=aivs_pairs,
         )
 
-    def check_consistency(self, query: BPHQuery) -> None:
-        """Verify internal invariants (tests + debugging; not on hot paths).
+    def integrity_issues(
+        self, query: BPHQuery
+    ) -> list[tuple[tuple[int, int] | None, str]]:
+        """Collect every structural-invariant violation without raising.
+
+        Returns ``(edge_key, message)`` tuples — ``edge_key`` is the
+        canonical query edge whose entry is corrupt (None when the issue is
+        not attributable to one edge).  Checked invariants:
 
         * AIVS maps exist exactly for processed edges, in both directions;
         * AIVS symmetry: ``vj in V_qi^qj(vi)`` iff ``vi in V_qj^qi(vj)``;
-        * AIVS members are live candidates;
+        * AIVS sources and members are live candidates;
         * with pruning on, no live candidate is isolated w.r.t. a
           processed incident edge.
+
+        This is the audit surface the resilience layer's
+        :class:`~repro.resilience.CAPInvariantChecker` builds on; an empty
+        list means the index is structurally sound.
         """
-        for qi, qj in self._processed:
+        issues: list[tuple[tuple[int, int] | None, str]] = []
+        for qi, qj in sorted(self._processed):
+            key = canonical_edge(qi, qj)
             for a, b in ((qi, qj), (qj, qi)):
                 if (a, b) not in self._aivs:
-                    raise CAPStateError(f"missing AIVS direction ({a}, {b})")
+                    issues.append((key, f"missing AIVS direction ({a}, {b})"))
             if not query.has_edge(qi, qj):
-                raise CAPStateError(f"processed edge {(qi, qj)} not in query")
-        for (a, b), aivs in self._aivs.items():
-            if canonical_edge(a, b) not in self._processed:
-                raise CAPStateError(f"AIVS for unprocessed edge ({a}, {b})")
-            reverse = self._aivs[(b, a)]
-            for v, targets in aivs.items():
-                if v not in self._candidates[a]:
-                    raise CAPStateError(
-                        f"AIVS source {v} is not a live candidate of {a}"
+                issues.append((key, f"processed edge {(qi, qj)} not in query"))
+        for (a, b), aivs in sorted(self._aivs.items()):
+            key = canonical_edge(a, b)
+            if key not in self._processed:
+                issues.append((key, f"AIVS for unprocessed edge ({a}, {b})"))
+                continue
+            reverse = self._aivs.get((b, a), {})
+            level = self._candidates.get(a, set())
+            other_level = self._candidates.get(b, set())
+            for v in sorted(level):
+                if v not in aivs:
+                    issues.append(
+                        (key, f"candidate {v} of {a} has no AIVS entry for ({a}, {b})")
                     )
-                for w in targets:
-                    if w not in self._candidates[b]:
-                        raise CAPStateError(
-                            f"AIVS target {w} is not a live candidate of {b}"
+            for v, targets in sorted(aivs.items()):
+                if v not in level:
+                    issues.append(
+                        (key, f"AIVS source {v} is not a live candidate of {a}")
+                    )
+                for w in sorted(targets):
+                    if w not in other_level:
+                        issues.append(
+                            (key, f"AIVS target {w} is not a live candidate of {b}")
                         )
                     if v not in reverse.get(w, set()):
-                        raise CAPStateError(
-                            f"AIVS asymmetry: {v}->{w} on ({a},{b}) lacks reverse"
+                        issues.append(
+                            (key, f"AIVS asymmetry: {v}->{w} on ({a},{b}) lacks reverse")
                         )
-                if self.pruning_enabled and not targets:
-                    raise CAPStateError(
-                        f"candidate {v} of {a} is isolated w.r.t. ({a}, {b}) "
-                        "but was not pruned"
+                if self.pruning_enabled and not targets and v in level:
+                    issues.append(
+                        (
+                            key,
+                            f"candidate {v} of {a} is isolated w.r.t. ({a}, {b}) "
+                            "but was not pruned",
+                        )
                     )
+        return issues
+
+    def check_consistency(self, query: BPHQuery) -> None:
+        """Verify internal invariants (tests + debugging; not on hot paths).
+
+        Raises :class:`CAPStateError` on the first violation found by
+        :meth:`integrity_issues`.
+        """
+        issues = self.integrity_issues(query)
+        if issues:
+            raise CAPStateError(issues[0][1])
 
     def __repr__(self) -> str:
         report = self.size_report()

@@ -19,10 +19,14 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.cap import CAPIndex
 from repro.core.query import BPHQuery
 from repro.errors import CAPStateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.deadline import Deadline
 
 __all__ = ["PartialMatches", "reorder_matching_order", "iter_partial_vertex_sets", "partial_vertex_sets"]
 
@@ -66,6 +70,7 @@ def iter_partial_vertex_sets(
     cap: CAPIndex,
     matching_order: list[int] | None = None,
     reorder: bool = True,
+    deadline: "Deadline | None" = None,
 ) -> Iterator[dict[int, int]]:
     """Lazily yield every partial-matched vertex set ``V_P``.
 
@@ -75,6 +80,11 @@ def iter_partial_vertex_sets(
 
     ``reorder=False`` keeps the user's drawing order (the reorder-ablation
     arm); results are the same set, traversal cost differs.
+
+    ``deadline`` adds a cooperative cancellation checkpoint per DFS
+    extension step, so combinatorially exploding enumerations can be
+    bounded (:class:`~repro.errors.DeadlineExceededError` at the next
+    step) instead of holding the session hostage.
     """
     for edge in query.edges():
         if not cap.is_processed(edge.u, edge.v):
@@ -93,6 +103,8 @@ def iter_partial_vertex_sets(
     neighbors_of = {q: query.neighbors(q) for q in order}
 
     def extend(position: int) -> Iterator[dict[int, int]]:
+        if deadline is not None:
+            deadline.checkpoint("V_Delta enumeration")
         if position == len(order):
             yield dict(assignment)
             return
@@ -127,6 +139,7 @@ def partial_vertex_sets(
     matching_order: list[int] | None = None,
     max_results: int | None = None,
     reorder: bool = True,
+    deadline: "Deadline | None" = None,
 ) -> PartialMatches:
     """Collect ``V_Δ`` eagerly, optionally capped at ``max_results``.
 
@@ -140,7 +153,9 @@ def partial_vertex_sets(
         order = list(matching_order if matching_order is not None else query.matching_order)
     matches: list[dict[int, int]] = []
     truncated = False
-    for match in iter_partial_vertex_sets(query, cap, matching_order, reorder=reorder):
+    for match in iter_partial_vertex_sets(
+        query, cap, matching_order, reorder=reorder, deadline=deadline
+    ):
         if max_results is not None and len(matches) >= max_results:
             truncated = True
             break

@@ -28,6 +28,11 @@ __all__ = [
     "ActionError",
     "DatasetError",
     "ExperimentError",
+    "ResilienceError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
+    "CAPCorruptionError",
+    "DegradedModeError",
 ]
 
 
@@ -141,6 +146,72 @@ class SessionError(ReproError):
 
 class ActionError(SessionError):
     """Raised for malformed or out-of-order GUI actions."""
+
+
+# --------------------------------------------------------------------------
+# Resilience (retry / deadline / degradation — see repro.resilience)
+# --------------------------------------------------------------------------
+class ResilienceError(ReproError):
+    """Base class for failures of the resilience machinery itself.
+
+    Raised when the defensive layer (retries, deadlines, CAP repair,
+    degradation) could not mask an underlying component failure.  Sessions
+    never silently return wrong matches: they either complete, degrade to
+    the BU baseline, or raise a subclass of this error.
+    """
+
+
+class DeadlineExceededError(ResilienceError, TimeoutError):
+    """Raised at a cooperative checkpoint once a :class:`Deadline` expires.
+
+    Carries the phase that overran so callers (and the CLI, which maps this
+    to exit code 3) can report *where* the budget went.
+    """
+
+    def __init__(self, context: str = "operation", limit: float | None = None) -> None:
+        detail = f" (budget {limit:.3f}s)" if limit is not None else ""
+        super().__init__(f"deadline exceeded during {context}{detail}")
+        self.context = context
+        self.limit = limit
+
+
+class RetryExhaustedError(ResilienceError):
+    """Raised when a :class:`RetryPolicy` runs out of attempts.
+
+    ``last_error`` holds the final underlying exception (also chained as
+    ``__cause__``); ``attempts`` is how many times the operation was tried.
+    """
+
+    def __init__(self, operation: str, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"{operation} failed after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CAPCorruptionError(ResilienceError, CAPError):
+    """Raised when CAP index integrity is violated and cannot be repaired.
+
+    Produced by :class:`repro.resilience.CAPInvariantChecker` when an audit
+    finds corrupted query-edge entries (asymmetric AIVS, dead candidates,
+    out-of-bound pairs) that quarantine + rebuild could not restore.
+    """
+
+    def __init__(self, message: str, corrupt_edges: list[tuple[int, int]] | None = None) -> None:
+        super().__init__(message)
+        self.corrupt_edges = list(corrupt_edges or [])
+
+
+class DegradedModeError(ResilienceError):
+    """Raised when every rung of the degradation ladder failed.
+
+    The CAP path failed, and so did the BU fallback (with the session
+    oracle *and* with the index-free BFS oracle) — there is no correct
+    answer left to return.
+    """
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Seeded fault injection for the oracle, GUI latency, and CAP storage.
+
+The attack side of the resilience story: a :class:`FaultPlan` is one
+deterministic, serializable description of what breaks when, shared by
+tests, experiments, and the CLI's ``--fault-plan`` flag, so a failure
+scenario observed anywhere can be replayed everywhere.
+
+* :class:`FaultPlan` / the ``*Spec`` dataclasses — configuration;
+* :class:`FaultyOracle` — transient/permanent oracle failures + latency
+  spikes;
+* :class:`FaultyLatencyModel` — dropped or spiked GUI idle windows;
+* :class:`CAPCorruptor` — bit-rot-style damage to the CAP index;
+* :class:`InjectedFaultError` — the (non-``ReproError``) exception every
+  injector raises, modeling an external component crash.
+
+The defense side lives in :mod:`repro.resilience`; production code never
+imports this package.
+"""
+
+from repro.faults.injectors import (
+    CAPCorruptor,
+    CorruptionReport,
+    FaultyLatencyModel,
+    FaultyOracle,
+    InjectedFaultError,
+)
+from repro.faults.plan import (
+    CAPCorruptionSpec,
+    FaultPlan,
+    GUIFaultSpec,
+    OracleFaultSpec,
+)
+
+__all__ = [
+    "CAPCorruptionSpec",
+    "CAPCorruptor",
+    "CorruptionReport",
+    "FaultPlan",
+    "FaultyLatencyModel",
+    "FaultyOracle",
+    "GUIFaultSpec",
+    "InjectedFaultError",
+    "OracleFaultSpec",
+]

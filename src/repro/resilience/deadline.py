@@ -1,0 +1,74 @@
+"""Deadline-bounded computation with cooperative cancellation.
+
+:class:`Deadline` extends :class:`repro.utils.timing.TimeBudget` with a
+:meth:`checkpoint` that *raises* once the budget is spent.  The engine
+threads checkpoints through every unbounded loop of the Run phase — pool
+drain, CAP construction, and ``V_Δ`` enumeration — so a runaway query is
+cancelled at the next loop iteration instead of holding the GUI hostage.
+
+Cancellation is cooperative on purpose: the CAP index is only ever mutated
+between checkpoints (a checkpoint never fires mid-``process_edge``), so a
+:class:`~repro.errors.DeadlineExceededError` always leaves the index in a
+consistent, resumable state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeadlineExceededError
+from repro.utils.timing import TimeBudget
+
+__all__ = ["Deadline"]
+
+
+class Deadline(TimeBudget):
+    """A :class:`TimeBudget` that can cancel cooperating loops.
+
+    >>> deadline = Deadline(None)          # unlimited: checkpoints are no-ops
+    >>> deadline.checkpoint("drain")
+    >>> Deadline(0.0).exhausted
+    True
+
+    Parameters
+    ----------
+    seconds:
+        Budget in wall-clock seconds; ``None`` means unlimited (every
+        checkpoint passes).  ``0.0`` is exhausted immediately — useful to
+        assert that cancellation paths fire.
+    label:
+        Default context used in the error message when no per-checkpoint
+        context is given.
+    """
+
+    def __init__(self, seconds: float | None, label: str = "operation") -> None:
+        super().__init__(seconds)
+        self.label = label
+        #: Number of checkpoints passed (instrumentation / tests).
+        self.checkpoints = 0
+
+    @classmethod
+    def unlimited(cls, label: str = "operation") -> "Deadline":
+        """A deadline that never fires (placeholder for disabled budgets)."""
+        return cls(None, label=label)
+
+    def checkpoint(self, context: str | None = None) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent.
+
+        Cheap enough for per-iteration use: one ``perf_counter`` call when a
+        limit is set, nothing otherwise.
+        """
+        if self.limit is None:
+            return
+        self.checkpoints += 1
+        if self.exhausted:
+            raise DeadlineExceededError(context or self.label, limit=self.limit)
+
+    def subbudget(self, cap_seconds: float) -> TimeBudget:
+        """A plain budget no larger than ``cap_seconds`` or what remains.
+
+        Used to bound inner loops (e.g. one repair pass) without letting
+        them outlive the enclosing deadline.
+        """
+        remaining = self.remaining()
+        if remaining == float("inf"):
+            return TimeBudget(cap_seconds)
+        return TimeBudget(min(cap_seconds, remaining))

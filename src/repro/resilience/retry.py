@@ -1,0 +1,119 @@
+"""Bounded retries with exponential backoff and deadline awareness.
+
+A :class:`RetryPolicy` wraps one *operation* (a callable) and retries it on
+transient failures — a flaky distance oracle, a remote index that timed
+out — while refusing to retry errors that a retry cannot fix:
+
+* :class:`~repro.errors.ReproError` subclasses are library-logic failures
+  (invalid query, inconsistent CAP state); retrying would repeat the same
+  deterministic failure, so they propagate immediately;
+* once a :class:`~repro.resilience.Deadline` is exhausted, the policy stops
+  early rather than burn the remaining attempts past the budget.
+
+When attempts run out, the last underlying error is wrapped in a
+:class:`~repro.errors.RetryExhaustedError` (with ``__cause__`` chained) so
+callers can distinguish "the component is down" from "the retry machinery
+gave up" without string matching.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.errors import DeadlineExceededError, ReproError, RetryExhaustedError
+from repro.resilience.deadline import Deadline
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable retry configuration (share one instance across calls).
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, including the first (1 = no retries).
+    base_delay:
+        Sleep before the first retry; grows by ``backoff`` per attempt.
+        The default is deliberately tiny — GUI latency windows are ~2 s,
+        so backoff must stay well under them to remain invisible.
+    backoff:
+        Multiplier applied to the delay after each failed attempt.
+    max_delay:
+        Upper clamp on any single sleep.
+    retry_on:
+        Exception types considered transient.
+    never_retry:
+        Exception types that propagate immediately even if they match
+        ``retry_on``.  Library-logic errors default to non-retryable.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.001
+    backoff: float = 2.0
+    max_delay: float = 0.05
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+    never_retry: tuple[type[BaseException], ...] = (ReproError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff sleep after failed attempt ``attempt`` (1-based)."""
+        return min(self.base_delay * (self.backoff ** (attempt - 1)), self.max_delay)
+
+    def call(
+        self,
+        operation: Callable[..., T],
+        *args: Any,
+        deadline: Deadline | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        label: str | None = None,
+        **kwargs: Any,
+    ) -> T:
+        """Invoke ``operation`` under this policy and return its result.
+
+        ``on_retry(attempt, error)`` is called before each re-attempt
+        (instrumentation hook; exceptions from it are not caught).
+        ``label`` names the operation in the exhaustion error.
+        """
+        name = label or getattr(operation, "__name__", "operation")
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if deadline is not None:
+                deadline.checkpoint(f"retrying {name}")
+            try:
+                return operation(*args, **kwargs)
+            except self.never_retry:
+                raise
+            except self.retry_on as exc:
+                last_error = exc
+                if attempt == self.max_attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self._sleep(self.delay_for(attempt), deadline, name)
+        assert last_error is not None  # loop ran at least once
+        raise RetryExhaustedError(name, self.max_attempts, last_error) from last_error
+
+    def _sleep(self, seconds: float, deadline: Deadline | None, name: str) -> None:
+        """Back off, but never sleep past the enclosing deadline."""
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if seconds >= remaining:
+                # Sleeping would eat the whole budget: fail fast instead.
+                raise DeadlineExceededError(f"backing off before retrying {name}",
+                                            limit=deadline.limit)
+        if seconds > 0:
+            time.sleep(seconds)

@@ -54,6 +54,45 @@ def test_session_errors_hierarchy():
     assert issubclass(errors.ActionError, errors.SessionError)
 
 
+def test_resilience_errors_hierarchy():
+    assert issubclass(errors.ResilienceError, errors.ReproError)
+    assert issubclass(errors.DeadlineExceededError, errors.ResilienceError)
+    assert issubclass(errors.RetryExhaustedError, errors.ResilienceError)
+    assert issubclass(errors.CAPCorruptionError, errors.ResilienceError)
+    assert issubclass(errors.DegradedModeError, errors.ResilienceError)
+
+
+def test_deadline_exceeded_is_timeout_error():
+    # Generic timeout handlers (concurrent.futures style) must catch it.
+    assert issubclass(errors.DeadlineExceededError, TimeoutError)
+
+
+def test_deadline_exceeded_payload():
+    err = errors.DeadlineExceededError("pool drain", limit=2.5)
+    assert err.context == "pool drain"
+    assert err.limit == 2.5
+    assert "pool drain" in str(err) and "2.500" in str(err)
+    bare = errors.DeadlineExceededError()
+    assert bare.limit is None
+
+
+def test_retry_exhausted_payload():
+    cause = RuntimeError("oracle down")
+    err = errors.RetryExhaustedError("probe", 3, cause)
+    assert err.operation == "probe"
+    assert err.attempts == 3
+    assert err.last_error is cause
+    assert "probe" in str(err) and "RuntimeError" in str(err)
+
+
+def test_cap_corruption_is_cap_error():
+    # Existing CAPError handlers must also see corruption failures.
+    assert issubclass(errors.CAPCorruptionError, errors.CAPError)
+    err = errors.CAPCorruptionError("rotten", corrupt_edges=[(0, 1)])
+    assert err.corrupt_edges == [(0, 1)]
+    assert errors.CAPCorruptionError("rotten").corrupt_edges == []
+
+
 def test_single_except_clause_catches_everything():
     with pytest.raises(errors.ReproError):
         raise errors.DatasetError("nope")
