@@ -1,0 +1,177 @@
+"""Multi-session service throughput — emits ``BENCH_service.json``.
+
+Drives the full wire path (``QueryServer`` on an ephemeral TCP port, one
+:class:`ServiceClient` connection per simulated user) at 1, 8 and 32
+concurrent scripted sessions over one shared graph + PML oracle, and
+records sessions/sec plus p50/p95 Run latency per concurrency level.
+
+Correctness rides along: every concurrent session's canonical match set
+must be byte-identical to a serial single-session run of the same script
+(the service acceptance criterion), so the numbers in the JSON are only
+reported for answers known to be right.
+
+The artifact seeds the service perf trajectory — future PRs compare
+their ``BENCH_service.json`` against the checked-in history, not against
+absolute numbers (CI machines vary; the shape and the identity assertion
+are what must hold).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.core.actions import Run
+from repro.core.blender import Boomer
+from repro.datasets.registry import get_dataset
+from repro.gui.latency import LatencyModel
+from repro.gui.simulator import SimulatedUser
+from repro.service import QueryServer, ServiceClient, SessionManager, canonical_matches
+from repro.workload.generator import instantiate
+
+CONCURRENCIES = (1, 8, 32)
+#: Distinct formulation scripts cycled across sessions.
+NUM_SCRIPTS = 4
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return get_dataset("wordnet", SCALE)
+
+
+@pytest.fixture(scope="module")
+def scripts(bundle):
+    """Pre-Run action lists (the server's ``run`` op is the Run click)."""
+    out = []
+    for seed in range(NUM_SCRIPTS):
+        instance = instantiate("Q1", bundle.graph, seed=seed, dataset=bundle.name)
+        user = SimulatedUser(LatencyModel(bundle.latency, jitter=0.0, seed=seed))
+        actions = user.formulate(instance)
+        assert isinstance(actions[-1], Run)
+        out.append(actions[:-1])
+    return out
+
+
+@pytest.fixture(scope="module")
+def reference(bundle, scripts):
+    """Serial single-session canonical match sets, one per script."""
+    out = []
+    for actions in scripts:
+        # max_results mirrors SessionLimits' default so hosted truncation
+        # (deterministic: per-session enumeration order is fixed) agrees.
+        boomer = Boomer(
+            bundle.make_context(), strategy="DI", auto_idle=False,
+            max_results=10_000,
+        )
+        for action in actions:
+            boomer.apply(action)
+        boomer.apply(Run())
+        out.append(canonical_matches(boomer.run_result.matches))
+    return out
+
+
+def drive(address, scripts, reference, n_sessions):
+    """n_sessions concurrent clients; returns (wall, run_latencies)."""
+    run_latencies = [0.0] * n_sessions
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_sessions + 1)
+
+    def worker(i: int) -> None:
+        try:
+            script = scripts[i % len(scripts)]
+            with ServiceClient(*address, timeout=600.0) as client:
+                sid = client.create_session(strategy="DI")
+                barrier.wait()
+                for action in script:
+                    client.action(sid, action)
+                start = time.perf_counter()
+                client.run(sid)
+                run_latencies[i] = time.perf_counter() - start
+                matches = client.matches(sid)
+                assert matches == reference[i % len(scripts)], (
+                    f"session {sid}: concurrent matches diverged from serial"
+                )
+                client.close_session(sid)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"user-{i}")
+        for i in range(n_sessions)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()  # all sessions created; the clock starts at Run traffic
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join(timeout=600)
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise errors[0]
+    return wall, run_latencies
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_service_throughput(bundle, scripts, reference):
+    manager = SessionManager(bundle.make_context(), max_sessions=64)
+    server = QueryServer(manager, host="127.0.0.1", port=0).start()
+    rows = []
+    try:
+        for n_sessions in CONCURRENCIES:
+            wall, latencies = drive(server.address, scripts, reference, n_sessions)
+            rows.append(
+                {
+                    "concurrent_sessions": n_sessions,
+                    "sessions_per_second": n_sessions / wall if wall > 0 else 0.0,
+                    "wall_seconds": wall,
+                    "run_p50_seconds": statistics.median(latencies),
+                    "run_p95_seconds": percentile(latencies, 0.95),
+                    "matches_identical_to_serial": True,  # asserted per session
+                }
+            )
+            print(
+                f"\n{n_sessions:>3} sessions: {rows[-1]['sessions_per_second']:.1f}/s, "
+                f"Run p50 {rows[-1]['run_p50_seconds'] * 1e3:.1f} ms, "
+                f"p95 {rows[-1]['run_p95_seconds'] * 1e3:.1f} ms"
+            )
+        stats = manager.stats()
+    finally:
+        server.stop()
+
+    # All sessions went through one manager over one shared oracle.
+    assert stats["sessions_created"] == sum(CONCURRENCIES)
+    assert stats["open_sessions"] == 0
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "artifact": "BENCH_service",
+                "scale": SCALE,
+                "dataset": bundle.name,
+                "graph_vertices": bundle.graph.num_vertices,
+                "graph_edges": bundle.graph.num_edges,
+                "num_scripts": NUM_SCRIPTS,
+                "rows": rows,
+                "manager": {
+                    "sessions_created": stats["sessions_created"],
+                    "sessions_evicted": stats["sessions_evicted"],
+                    "admission_rejections": stats["admission_rejections"],
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUTPUT}")

@@ -1,11 +1,19 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro generate --dataset wordnet --n 500 --out graph.txt
     python -m repro stats --graph graph.txt
     python -m repro query --graph graph.txt --query query.txt \
         [--strategy DI] [--limit 10] [--rank compactness] [--dot out.dot]
+    python -m repro serve --graph graph.txt [--port 7474] \
+        [--max-sessions 64] [--cap-budget 1000000]
+
+``serve`` hosts the multi-session query service (see docs/SERVICE.md): a
+JSON-lines-over-TCP protocol multiplexing many concurrent visual sessions
+over one shared graph + PML oracle.  It prints ``serving on HOST:PORT``
+once ready (``--port 0`` picks a free port) and exits cleanly on SIGINT
+or a client ``shutdown`` op.
 
 The query file mirrors the visual formulation stream, one action per line
 (``#`` comments allowed)::
@@ -240,6 +248,59 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return EXIT_DEGRADED if result.degraded else EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience import ResilienceConfig as _RC
+    from repro.service import QueryServer, SessionManager
+    from repro.service.session import SessionLimits
+
+    if args.graph:
+        graph = load_edge_list(args.graph)
+        print(f"loaded {graph}", file=sys.stderr)
+        pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
+        print(pre.summary(), file=sys.stderr)
+        base_ctx = make_context(pre)
+    else:
+        from repro.datasets.registry import get_dataset
+
+        bundle = get_dataset(args.dataset, args.scale)
+        print(bundle.pre.summary(), file=sys.stderr)
+        base_ctx = bundle.make_context()
+
+    posture = getattr(args, "resilience", "off")
+    default_resilience = None if posture == "off" else {
+        "default": _RC.default,
+        "strict": _RC.strict,
+        "paranoid": _RC.paranoid,
+    }[posture]()
+    if args.deadline is not None:
+        default_resilience = replace(
+            default_resilience or _RC.default(), deadline_seconds=args.deadline
+        )
+
+    manager = SessionManager(
+        base_ctx,
+        max_sessions=args.max_sessions,
+        cap_entry_budget=args.cap_budget,
+        default_limits=SessionLimits(resilience=default_resilience),
+    )
+    server = QueryServer(manager, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stats = manager.stats()
+        print(
+            f"served {stats['sessions_created']} sessions "
+            f"({stats['runs_completed']} runs, "
+            f"{stats['sessions_evicted']} evicted); bye",
+            file=sys.stderr,
+        )
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -283,6 +344,44 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--t-avg-samples", type=int, default=5000)
     _add_resilience_flags(replay)
     replay.set_defaults(func=_cmd_replay)
+
+    serve = sub.add_parser(
+        "serve", help="host the multi-session query service (JSON lines/TCP)"
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", default=None, help="edge-list graph file")
+    source.add_argument(
+        "--dataset", choices=sorted(_GENERATORS), default=None,
+        help="serve a registry dataset instead of a graph file",
+    )
+    serve.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7474, help="0 picks a free port"
+    )
+    serve.add_argument("--max-sessions", type=int, default=64)
+    serve.add_argument(
+        "--cap-budget",
+        type=int,
+        default=1_000_000,
+        metavar="ENTRIES",
+        help="total CAP entries across sessions before LRU eviction",
+    )
+    serve.add_argument("--t-avg-samples", type=int, default=5000)
+    serve.add_argument(
+        "--resilience",
+        choices=("off", "default", "strict", "paranoid"),
+        default="off",
+        help="default resilience posture for hosted sessions",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-session Run-phase budget",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -270,6 +270,24 @@ class BlenderEngine:
             processed += 1
         return processed
 
+    def probe_one(self, remaining_seconds: float) -> int:
+        """Process the single cheapest pooled edge if its estimate fits.
+
+        The cross-session idle scheduler uses this instead of
+        :meth:`probe_pool` so each pick spends exactly one edge and the
+        fair-share priorities are re-evaluated between edges.  Returns the
+        number of edges processed (0 or 1).
+        """
+        entry = self.pool.min_edge(self.cap, self.cost_model)
+        if entry is None:
+            return 0
+        edge, estimated = entry
+        if estimated > remaining_seconds:
+            return 0
+        self.ctx.counters.pool_probes += 1
+        self._process_pooled(edge)
+        return 1
+
     def drain_pool(self) -> int:
         """Process every pooled edge, cheapest (current T_est) first."""
         processed = 0
@@ -630,7 +648,7 @@ class Boomer:
         # Lazy import: core -> baseline is a deliberate, contained layer
         # inversion that only the degraded path pays for.
         from repro.baseline.bu import BoomerUnaware
-        from repro.indexing.oracle import BFSOracle
+        from repro.indexing.oracle import shared_bfs_oracle
 
         engine = self.engine
         timeout: float | None = None
@@ -638,7 +656,9 @@ class Boomer:
             timeout = deadline.remaining()
 
         rungs: list[tuple[str, EngineContext]] = [("bu-oracle", engine.ctx)]
-        rungs.append(("bu-bfs", replace(engine.ctx, oracle=BFSOracle(engine.ctx.graph))))
+        rungs.append(
+            ("bu-bfs", replace(engine.ctx, oracle=shared_bfs_oracle(engine.ctx.graph)))
+        )
 
         last_error: Exception = cause
         for name, ctx in rungs:
@@ -688,13 +708,14 @@ class Boomer:
                 if not self._absorbable(exc):
                     raise
                 # The oracle died *after* Run (CAP construction may never
-                # have needed it): fail result generation over to a fresh
-                # BFS oracle — exact distances, so validation is unchanged.
-                from repro.indexing.oracle import BFSOracle
+                # have needed it): fail result generation over to the
+                # shared BFS oracle — exact distances, so validation is
+                # unchanged, and repeated failures reuse its warm cache.
+                from repro.indexing.oracle import shared_bfs_oracle
 
                 self.absorbed_failures.append(f"{type(exc).__name__}: {exc}")
                 self._result_ctx = replace(
-                    self.engine.ctx, oracle=BFSOracle(self.engine.ctx.graph)
+                    self.engine.ctx, oracle=shared_bfs_oracle(self.engine.ctx.graph)
                 )
                 return filter_by_lower_bound(match, self.engine.query, self._result_ctx)
 

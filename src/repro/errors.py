@@ -33,6 +33,11 @@ __all__ = [
     "RetryExhaustedError",
     "CAPCorruptionError",
     "DegradedModeError",
+    "ServiceError",
+    "SessionNotFoundError",
+    "SessionEvictedError",
+    "AdmissionError",
+    "ProtocolError",
 ]
 
 
@@ -212,6 +217,49 @@ class DegradedModeError(ResilienceError):
     oracle *and* with the index-free BFS oracle) — there is no correct
     answer left to return.
     """
+
+
+# --------------------------------------------------------------------------
+# Multi-session service (see repro.service)
+# --------------------------------------------------------------------------
+class ServiceError(ReproError):
+    """Base class for multi-session query-service failures."""
+
+
+class SessionNotFoundError(ServiceError, KeyError):
+    """Raised when a service operation references an unknown session id."""
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(f"session {session_id!r} does not exist")
+        self.session_id = session_id
+
+
+class SessionEvictedError(ServiceError):
+    """Raised when the referenced session was evicted by admission control.
+
+    Distinct from :class:`SessionNotFoundError` so clients can tell a typo
+    from a session the server reclaimed under memory pressure (the client
+    should recreate the session and replay its formulation).
+    """
+
+    def __init__(self, session_id: str, reason: str = "memory pressure") -> None:
+        super().__init__(f"session {session_id!r} was evicted ({reason})")
+        self.session_id = session_id
+        self.reason = reason
+
+
+class AdmissionError(ServiceError):
+    """Raised when the service refuses to admit (or grow) a session.
+
+    The manager only admits work it can host within its session and
+    CAP-entry budgets; when every other session is active (unevictable)
+    and the budget is exhausted, creation is refused rather than letting
+    one tenant push the process into swap.
+    """
+
+
+class ProtocolError(ServiceError, ValueError):
+    """Raised for malformed wire requests (bad JSON, unknown op, ...)."""
 
 
 # --------------------------------------------------------------------------

@@ -33,12 +33,12 @@ CAP path or degrades to the BU baseline, flagged on the result.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.actions import Action, Run
-from repro.core.blender import Boomer, RunResult
+from repro.core.blender import ActionReport, Boomer, RunResult
 from repro.core.context import EngineContext
 from repro.core.cost import GUILatencyConstants
 from repro.errors import SessionError
@@ -50,7 +50,64 @@ from repro.workload.generator import QueryInstance
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults import FaultPlan
 
-__all__ = ["VisualSession", "SessionResult"]
+__all__ = ["VisualSession", "SessionResult", "TimelineState"]
+
+
+@dataclass
+class TimelineState:
+    """The hybrid virtual clock of one formulation session.
+
+    Factored out of :meth:`VisualSession.run_actions` so both batch replay
+    (whole action list at once) and the incremental service layer
+    (:mod:`repro.service`, one wire request per action) advance the *same*
+    timeline arithmetic: action *i* arrives at virtual ``T_i``; the engine
+    starts it no earlier than ``max(T_i, busy_until)``; leftover GUI
+    latency is the idle window handed to Defer-to-Idle (or, in the
+    service, donated to the cross-session :class:`IdleScheduler`).
+    """
+
+    arrival: float = 0.0  # virtual time the next action is handed over
+    busy_until: float = 0.0  # engine busy horizon (virtual)
+    formulation_busy: float = 0.0  # engine compute during formulation
+    simulated_qft: float = 0.0  # total virtual formulation time
+
+    def step(
+        self,
+        boomer: Boomer,
+        action: Action,
+        idle_sink: Callable[[float], float] | None = None,
+    ) -> ActionReport:
+        """Apply one non-Run action on the timeline; returns its report.
+
+        ``idle_sink`` receives the idle window (seconds) and returns the
+        compute time actually spent in it; defaults to the session's own
+        pool probe (:meth:`Boomer.probe_idle`).
+        """
+        report = boomer.apply(action)
+        start = max(self.arrival, self.busy_until)
+        self.busy_until = start + report.compute_seconds
+        self.formulation_busy += report.compute_seconds
+        latency = (
+            action.latency_after
+            if action.latency_after is not None
+            else boomer.engine.t_lat
+        )
+        if action.latency_after is not None:
+            self.simulated_qft += action.latency_after
+        next_arrival = self.arrival + latency
+        idle = next_arrival - self.busy_until
+        if idle > 0.0:
+            sink = idle_sink if idle_sink is not None else boomer.probe_idle
+            spent = sink(idle)
+            self.busy_until += spent
+            self.formulation_busy += spent
+        self.arrival = next_arrival
+        return report
+
+    @property
+    def backlog_seconds(self) -> float:
+        """CAP work still pending were Run clicked now (charged to SRT)."""
+        return max(self.busy_until - self.arrival, 0.0)
 
 
 @dataclass
@@ -211,29 +268,11 @@ class VisualSession:
         # [T_{i-1}, T_i] (duration = previous action's latency_after) and
         # handed to the engine at T_i.  latency_after of action i is, by
         # simulator construction, the duration of action i+1.
-        arrival = 0.0
-        busy_until = 0.0
-        formulation_busy = 0.0
-
+        timeline = TimelineState()
         for action in actions[:-1]:
-            report = boomer.apply(action)
-            start = max(arrival, busy_until)
-            busy_until = start + report.compute_seconds
-            formulation_busy += report.compute_seconds
-            next_arrival = arrival + (
-                action.latency_after
-                if action.latency_after is not None
-                else boomer.engine.t_lat
-            )
-            idle = next_arrival - busy_until
-            if idle > 0.0:
-                probe_cost = boomer.probe_idle(idle)
-                busy_until += probe_cost
-                formulation_busy += probe_cost
-            arrival = next_arrival
+            timeline.step(boomer, action)
 
-        run_arrival = arrival  # Run handed to the engine
-        backlog = max(busy_until - run_arrival, 0.0)
+        backlog = timeline.backlog_seconds  # CAP work pending at the Run click
         if self.fault_plan is not None:
             # Storage rot lands at the worst possible moment: after the
             # last formulation action, before the Run click reads the CAP.
@@ -251,7 +290,7 @@ class VisualSession:
             actions=list(actions),
             simulated_qft_seconds=qft,
             backlog_seconds=backlog,
-            formulation_busy_seconds=formulation_busy,
+            formulation_busy_seconds=timeline.formulation_busy,
         )
 
 

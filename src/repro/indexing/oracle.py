@@ -9,10 +9,25 @@ defines that protocol plus two implementations used beside PML:
   oracle for correctness tests and the "no index" arm of the PML ablation.
 * :class:`CountingOracle` — a wrapper counting/delegating queries, used by
   experiments to report how many distance queries each strategy issues.
+
+Thread safety
+-------------
+One oracle instance may back many concurrent sessions (the
+:mod:`repro.service` layer shares a single PML index across every hosted
+session).  PML queries are pure reads over frozen label arrays and need no
+synchronization; the two *stateful* oracles here take a lock around their
+mutable bits — :class:`BFSOracle`'s memo cache and both classes' query
+counters — so shared use never produces racy stats or a torn cache.
+
+:func:`shared_bfs_oracle` memoizes one :class:`BFSOracle` per data graph.
+The degradation ladder (PR 1) builds a BFS fallback whenever the session
+oracle dies; caching it means N failed Runs in one process pay for one
+fallback's BFS frontier instead of N cold caches.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -20,7 +35,12 @@ import numpy as np
 from repro.graph.algorithms import bfs_distances
 from repro.graph.graph import Graph
 
-__all__ = ["DistanceOracle", "BFSOracle", "CountingOracle"]
+__all__ = [
+    "DistanceOracle",
+    "BFSOracle",
+    "CountingOracle",
+    "shared_bfs_oracle",
+]
 
 
 @runtime_checkable
@@ -42,31 +62,44 @@ class BFSOracle:
     Each distinct source triggers one full BFS whose distance vector is
     cached (bounded LRU by insertion order).  Suitable for tests and small
     graphs; the ablation bench uses it to quantify what PML buys.
+
+    Safe to share across threads: the memo cache and query counter are
+    guarded by a lock (the BFS itself runs outside the lock so concurrent
+    misses on *different* sources still parallelize).
     """
 
     def __init__(self, graph: Graph, cache_size: int = 1024) -> None:
         self._graph = graph
         self._cache: dict[int, np.ndarray] = {}
         self._cache_size = cache_size
+        self._lock = threading.Lock()
         self.query_count = 0
 
     def _vector(self, source: int) -> np.ndarray:
-        vec = self._cache.get(source)
+        with self._lock:
+            vec = self._cache.get(source)
         if vec is None:
             vec = bfs_distances(self._graph, source)
-            if len(self._cache) >= self._cache_size:
-                # Drop the oldest entry (dict preserves insertion order).
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[source] = vec
+            with self._lock:
+                if source not in self._cache:
+                    if len(self._cache) >= self._cache_size:
+                        # Drop the oldest entry (dict preserves insertion order).
+                        self._cache.pop(next(iter(self._cache)))
+                    self._cache[source] = vec
+                else:  # another thread raced us; keep its identical vector
+                    vec = self._cache[source]
         return vec
 
     def distance(self, u: int, v: int) -> int:
-        self.query_count += 1
+        with self._lock:
+            self.query_count += 1
+            # Run BFS from whichever endpoint is already cached, else from u.
+            source, target = (
+                (v, u) if v in self._cache and u not in self._cache else (u, v)
+            )
         if u == v:
             self._graph._check_vertex(u)
             return 0
-        # Run BFS from whichever endpoint is already cached, else from u.
-        source, target = (v, u) if v in self._cache and u not in self._cache else (u, v)
         return int(self._vector(source)[target])
 
     def within(self, u: int, v: int, upper: int) -> bool:
@@ -75,20 +108,58 @@ class BFSOracle:
 
 
 class CountingOracle:
-    """Delegating oracle that counts queries (experiment instrumentation)."""
+    """Delegating oracle that counts queries (experiment instrumentation).
+
+    The counter increment is lock-guarded so one instance can wrap the
+    shared oracle of many concurrent sessions without losing counts
+    (``+=`` on an int is not atomic across bytecode boundaries).
+    """
 
     def __init__(self, inner: DistanceOracle) -> None:
         self._inner = inner
+        self._lock = threading.Lock()
         self.query_count = 0
 
     def distance(self, u: int, v: int) -> int:
-        self.query_count += 1
+        with self._lock:
+            self.query_count += 1
         return self._inner.distance(u, v)
 
     def within(self, u: int, v: int, upper: int) -> bool:
-        self.query_count += 1
+        with self._lock:
+            self.query_count += 1
         return self._inner.within(u, v, upper)
 
     def reset(self) -> None:
         """Zero the counter."""
-        self.query_count = 0
+        with self._lock:
+            self.query_count = 0
+
+
+#: One shared BFS fallback per data graph, identity-keyed.  ``Graph`` is
+#: slotted without ``__weakref__``, so entries pin their graph; the cache is
+#: bounded (oldest-out) to keep that pinning harmless in long processes
+#: that churn through many graphs.  Guarded by a lock because fallback
+#: construction can race when several sessions degrade at once.
+_shared_bfs: dict[int, tuple[Graph, BFSOracle]] = {}
+_shared_bfs_lock = threading.Lock()
+_SHARED_BFS_MAX = 8
+
+
+def shared_bfs_oracle(graph: Graph) -> BFSOracle:
+    """The process-wide BFS fallback oracle for ``graph`` (built once).
+
+    The degradation ladder and post-Run result generation both reach for
+    an index-free BFS oracle when the session oracle is unusable; within
+    one process every such fallback on the same graph shares one instance
+    (and therefore one warm BFS cache).
+    """
+    key = id(graph)
+    with _shared_bfs_lock:
+        entry = _shared_bfs.get(key)
+        if entry is None or entry[0] is not graph:
+            if len(_shared_bfs) >= _SHARED_BFS_MAX:
+                _shared_bfs.pop(next(iter(_shared_bfs)))
+            entry = (graph, BFSOracle(graph))
+            _shared_bfs[key] = entry
+        return entry[1]

@@ -1,0 +1,46 @@
+"""Multi-session query service: many visual sessions, one shared engine.
+
+The paper's system is single-user by construction — one person sketching
+one query.  The ROADMAP's north star is a server multiplexing *many*
+concurrent formulations over one immutable data graph and one expensive
+PML oracle.  This package is that layer:
+
+* :class:`ManagedSession` — one hosted formulation: a
+  :class:`~repro.core.blender.Boomer` plus the hybrid virtual timeline
+  (:class:`~repro.gui.session.TimelineState`), advanced one wire request
+  at a time instead of one batch replay at a time.
+* :class:`IdleScheduler` — cooperative Defer-to-Idle multiplexer: the
+  idle GUI window of *any* session is donated to the cheapest pending CAP
+  work across *all* sessions, fair-share scheduled so a chatty session
+  never starves another's cheap edges.
+* :class:`SessionManager` — the host: admission control (session and
+  CAP-entry budgets), LRU eviction of idle sessions under memory
+  pressure, per-session accounting, and thread-safe dispatch.
+* :class:`QueryServer` / :class:`ServiceClient` — a JSON-lines-over-TCP
+  wire protocol (``python -m repro serve``) exposing create-session /
+  action / run / results / stats.
+
+Layering: ``service`` sits *above* ``gui``/``core`` — it imports them,
+never the reverse.  Everything below the manager is unchanged BOOMER; the
+deferral-neutrality invariant is what makes cross-session scheduling safe
+(moving CAP work between idle windows can never change ``V_Δ``).
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.manager import ManagerStats, SessionManager
+from repro.service.protocol import PROTOCOL_VERSION, canonical_matches
+from repro.service.scheduler import IdleScheduler
+from repro.service.server import QueryServer
+from repro.service.session import ManagedSession, SessionLimits
+
+__all__ = [
+    "ManagedSession",
+    "SessionLimits",
+    "IdleScheduler",
+    "SessionManager",
+    "ManagerStats",
+    "QueryServer",
+    "ServiceClient",
+    "PROTOCOL_VERSION",
+    "canonical_matches",
+]

@@ -1,0 +1,162 @@
+"""In-repo client for the ``repro serve`` wire protocol.
+
+Blocking, line-oriented, dependency-free — the reference implementation
+of the protocol in docs/SERVICE.md and the driver used by the CI smoke
+job, the concurrency tests, and ``benchmarks/bench_service_throughput``.
+
+    with ServiceClient(host, port) as client:
+        sid = client.create_session(strategy="DI")
+        for action in actions:        # recording-format dicts or Actions
+            client.action(sid, action)
+        summary = client.run(sid)
+        matches = client.matches(sid)
+
+Server-side failures surface as :class:`RemoteServiceError` carrying the
+original error type name (``error.remote_type``) and whether the server
+considers the condition retryable (eviction, admission refusals).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.core.actions import Action
+from repro.errors import ServiceError
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "RemoteServiceError"]
+
+
+class RemoteServiceError(ServiceError):
+    """A failure response from the service, rehydrated client-side."""
+
+    def __init__(self, payload: dict[str, Any]) -> None:
+        self.remote_type = str(payload.get("type", "UnknownError"))
+        self.retryable = bool(payload.get("retryable", False))
+        self.payload = payload
+        super().__init__(f"{self.remote_type}: {payload.get('message', '')}")
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing --------------------------------------------------------
+    def request(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request, wait for its response, return ``result``."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "op": op, **params}
+        self._file.write(protocol.encode_line(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection mid-request")
+        response = protocol.decode_response(line)
+        if response.get("id") != self._next_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if not response.get("ok"):
+            raise RemoteServiceError(response.get("error") or {})
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- operations ------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def create_session(
+        self,
+        strategy: str | None = None,
+        pruning: bool | None = None,
+        max_results: int | None = None,
+        resilience: str | None = None,
+        deadline_seconds: float | None = None,
+    ) -> str:
+        """Create a session; returns its id."""
+        params: dict[str, Any] = {}
+        if strategy is not None:
+            params["strategy"] = strategy
+        if pruning is not None:
+            params["pruning"] = pruning
+        if max_results is not None:
+            params["max_results"] = max_results
+        if resilience is not None:
+            params["resilience"] = resilience
+        if deadline_seconds is not None:
+            params["deadline_seconds"] = deadline_seconds
+        return str(self.request("create_session", **params)["session"])
+
+    def action(self, session: str, action: Action | dict[str, Any]) -> dict[str, Any]:
+        """Apply one formulation action (an Action or a recording dict)."""
+        payload = (
+            protocol.action_payload(action)
+            if isinstance(action, Action)
+            else action
+        )
+        return self.request("action", session=session, action=payload)
+
+    def run(self, session: str) -> dict[str, Any]:
+        """Click Run; returns the run summary (SRT, degradation, sizes)."""
+        return self.request("run", session=session)
+
+    def matches(self, session: str) -> list[list[list[int]]]:
+        """Canonicalized ``V_Δ`` of a completed session."""
+        return self.request("matches", session=session)["matches"]
+
+    def results(self, session: str, limit: int | None = None) -> list[dict[str, Any]]:
+        """Validated result subgraphs (assignment + displayed paths)."""
+        params: dict[str, Any] = {"session": session}
+        if limit is not None:
+            params["limit"] = limit
+        return self.request("results", **params)["results"]
+
+    def stats(self, session: str | None = None) -> dict[str, Any]:
+        """Service-level stats, or one session's when ``session`` given."""
+        if session is None:
+            return self.request("stats")
+        return self.request("stats", session=session)
+
+    def close_session(self, session: str) -> dict[str, Any]:
+        return self.request("close_session", session=session)
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to stop after acknowledging."""
+        return self.request("shutdown")
+
+    # -- conveniences ----------------------------------------------------
+    def scripted_session(
+        self,
+        actions: list[Action] | list[dict[str, Any]],
+        **session_params: Any,
+    ) -> dict[str, Any]:
+        """Create → formulate → Run in one call.
+
+        ``actions`` must *not* include the final Run (the server's ``run``
+        op is the Run click).  Returns ``{"session", "run", "matches"}``.
+        """
+        sid = self.create_session(**session_params)
+        for action in actions:
+            self.action(sid, action)
+        summary = self.run(sid)
+        matches = self.matches(sid)
+        return {"session": sid, "run": summary, "matches": matches}

@@ -1,0 +1,347 @@
+"""The session host: admission, accounting, eviction, dispatch.
+
+One :class:`SessionManager` owns one immutable engine basis — data graph,
+shared PML oracle, two-hop counts, cost model — and hosts many
+:class:`~repro.service.session.ManagedSession`\\ s over it.  Contexts are
+cheap per-session shells (fresh counters over shared indexes), so the
+expensive preprocessing is paid once per process, not once per user.
+
+Resource model
+--------------
+The retained state of a session is its CAP index (candidates + AIVS
+pairs) plus its pooled edges; :meth:`ManagedSession.cap_entries` counts
+exactly that.  The manager enforces two budgets:
+
+* ``max_sessions`` — a hard bound on concurrently open sessions;
+* ``cap_entry_budget`` — a bound on total CAP entries across sessions.
+
+When either would be exceeded, the manager evicts **idle** sessions in
+LRU order (least-recently-touched first; a session being operated on is
+never idle — idleness is a non-blocking lock probe, not a wall-clock
+timer, so behavior is deterministic).  If nothing evictable remains, the
+request is refused with :class:`~repro.errors.AdmissionError` — the
+service degrades by shedding load, never by swapping.
+
+Evicted ids are remembered (bounded) so clients get the distinct
+:class:`~repro.errors.SessionEvictedError` — "recreate and replay" — and
+not a confusing "no such session".
+
+Threading
+---------
+A manager-level lock guards the session table and LRU bookkeeping only;
+engine compute runs under the *per-session* lock, so different sessions'
+requests execute genuinely concurrently (the shared oracle is read-only
+or internally locked — see :mod:`repro.indexing.oracle`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.actions import Action
+from repro.core.blender import ActionReport, RunResult
+from repro.core.context import EngineContext
+from repro.errors import (
+    AdmissionError,
+    SessionEvictedError,
+    SessionNotFoundError,
+)
+from repro.resilience import ResilienceConfig
+from repro.service.scheduler import IdleScheduler
+from repro.service.session import ManagedSession, SessionLimits
+
+__all__ = ["SessionManager", "ManagerStats"]
+
+_POSTURES = {
+    "off": lambda: None,
+    "default": ResilienceConfig.default,
+    "strict": ResilienceConfig.strict,
+    "paranoid": ResilienceConfig.paranoid,
+}
+
+
+@dataclass
+class ManagerStats:
+    """Counters the service exposes on the wire ``stats`` op."""
+
+    sessions_created: int = 0
+    sessions_closed: int = 0
+    sessions_evicted: int = 0
+    admission_rejections: int = 0
+    runs_completed: int = 0
+    runs_degraded: int = 0
+    runs_failed: int = 0
+    eviction_log: list[str] = field(default_factory=list)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "sessions_created": self.sessions_created,
+            "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "admission_rejections": self.admission_rejections,
+            "runs_completed": self.runs_completed,
+            "runs_degraded": self.runs_degraded,
+            "runs_failed": self.runs_failed,
+            "recent_evictions": list(self.eviction_log[-16:]),
+        }
+
+
+class SessionManager:
+    """Hosts concurrent :class:`ManagedSession`\\ s over one shared context."""
+
+    def __init__(
+        self,
+        base_ctx: EngineContext,
+        max_sessions: int = 64,
+        cap_entry_budget: int | None = 1_000_000,
+        default_limits: SessionLimits | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise AdmissionError("max_sessions must be at least 1")
+        self.base_ctx = base_ctx
+        self.max_sessions = max_sessions
+        self.cap_entry_budget = cap_entry_budget
+        self.default_limits = default_limits or SessionLimits()
+        self.scheduler = IdleScheduler()
+        self.stats_counters = ManagerStats()
+        self._lock = threading.RLock()
+        self._sessions: dict[str, ManagedSession] = {}
+        self._evicted: dict[str, str] = {}  # id -> reason (bounded)
+        self._id_counter = itertools.count(1)
+        self._touch_counter = itertools.count(1)
+
+    # -- lifecycle -------------------------------------------------------
+    def create_session(
+        self,
+        strategy: str | None = None,
+        pruning: bool | None = None,
+        max_results: int | None = None,
+        resilience: str | ResilienceConfig | None = None,
+        deadline_seconds: float | None = None,
+    ) -> ManagedSession:
+        """Admit a new session (evicting idle LRU sessions if needed)."""
+        limits = self._build_limits(
+            strategy, pruning, max_results, resilience, deadline_seconds
+        )
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                self._evict_lru(
+                    need_sessions=1, reason="session budget", active=None
+                )
+            if len(self._sessions) >= self.max_sessions:
+                self.stats_counters.admission_rejections += 1
+                raise AdmissionError(
+                    f"session budget exhausted ({self.max_sessions} open, "
+                    "none evictable)"
+                )
+            session_id = f"s{next(self._id_counter)}"
+            session = ManagedSession(session_id, self.base_ctx, limits)
+            session.touch_seq = next(self._touch_counter)
+            self._sessions[session_id] = session
+            self.scheduler.register(session)
+            self.stats_counters.sessions_created += 1
+            return session
+
+    def _build_limits(
+        self,
+        strategy: str | None,
+        pruning: bool | None,
+        max_results: int | None,
+        resilience: str | ResilienceConfig | None,
+        deadline_seconds: float | None,
+    ) -> SessionLimits:
+        base = self.default_limits
+        config: ResilienceConfig | None
+        if isinstance(resilience, ResilienceConfig):
+            config = resilience
+        elif isinstance(resilience, str):
+            try:
+                config = _POSTURES[resilience]()
+            except KeyError:
+                raise AdmissionError(
+                    f"unknown resilience posture {resilience!r} "
+                    f"(choose from {sorted(_POSTURES)})"
+                ) from None
+        else:
+            config = base.resilience
+        if deadline_seconds is not None:
+            from dataclasses import replace as _replace
+
+            config = config or ResilienceConfig.default()
+            config = _replace(config, deadline_seconds=deadline_seconds)
+        return SessionLimits(
+            strategy=strategy if strategy is not None else base.strategy,
+            pruning=pruning if pruning is not None else base.pruning,
+            max_results=max_results if max_results is not None else base.max_results,
+            resilience=config,
+        )
+
+    def close_session(self, session_id: str) -> None:
+        """Client-initiated teardown; frees the session's budget share."""
+        session = self.get(session_id)
+        with session.lock:
+            session.close()
+        with self._lock:
+            self._sessions.pop(session_id, None)
+            self.scheduler.unregister(session_id)
+            self.stats_counters.sessions_closed += 1
+
+    def get(self, session_id: str) -> ManagedSession:
+        """Look up a live session; typed errors for evicted vs unknown."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                return session
+            if session_id in self._evicted:
+                raise SessionEvictedError(session_id, self._evicted[session_id])
+        raise SessionNotFoundError(session_id)
+
+    # -- request dispatch ------------------------------------------------
+    def apply_action(self, session_id: str, action: Action) -> ActionReport:
+        """Apply one formulation action; idle time goes to the scheduler."""
+        session = self.get(session_id)
+        with session.lock:
+            self._touch(session)
+            report = session.apply(
+                action,
+                idle_sink=lambda idle: self.scheduler.donate(session, idle),
+            )
+        self._enforce_cap_budget(active=session_id)
+        return report
+
+    def run(self, session_id: str) -> RunResult:
+        """Execute the session's Run click."""
+        session = self.get(session_id)
+        with session.lock:
+            self._touch(session)
+            try:
+                result = session.run()
+            except Exception:
+                with self._lock:
+                    self.stats_counters.runs_failed += 1
+                raise
+        with self._lock:
+            self.stats_counters.runs_completed += 1
+            if result.degraded:
+                self.stats_counters.runs_degraded += 1
+        self._enforce_cap_budget(active=session_id)
+        return result
+
+    def results(self, session_id: str, limit: int | None = None):
+        """Validated result subgraphs of a completed session."""
+        session = self.get(session_id)
+        with session.lock:
+            self._touch(session)
+            return session.results(limit=limit)
+
+    def matches(self, session_id: str) -> list[dict[int, int]]:
+        """Raw ``V_Δ`` of a completed session."""
+        session = self.get(session_id)
+        with session.lock:
+            self._touch(session)
+            return session.matches()
+
+    # -- accounting / eviction -------------------------------------------
+    def _touch(self, session: ManagedSession) -> None:
+        with self._lock:
+            session.touch_seq = next(self._touch_counter)
+
+    def total_cap_entries(self) -> int:
+        """Live CAP entries across all hosted sessions (best effort).
+
+        Sessions mid-request are sized without their lock; a torn read can
+        only skew the *stat* for one enforcement round, never corrupt the
+        CAP itself, so a failed concurrent size walk counts as zero rather
+        than stalling accounting behind engine compute.
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+        total = 0
+        for session in sessions:
+            try:
+                total += session.cap_entries()
+            except RuntimeError:  # dict resized mid-walk by its own thread
+                continue
+        return total
+
+    def _enforce_cap_budget(self, active: str | None) -> None:
+        """Evict idle LRU sessions until the CAP-entry budget holds.
+
+        ``active`` (the session servicing the current request) is never
+        evicted; a single session legitimately larger than the whole
+        budget is allowed to finish — load shedding targets *other*
+        tenants' retained state, not the request in flight.
+        """
+        if self.cap_entry_budget is None:
+            return
+        with self._lock:
+            if self.total_cap_entries() <= self.cap_entry_budget:
+                return
+            overshoot = self.total_cap_entries() - self.cap_entry_budget
+            self._evict_lru(
+                need_entries=overshoot, reason="CAP budget", active=active
+            )
+
+    def _evict_lru(
+        self,
+        reason: str,
+        active: str | None,
+        need_sessions: int = 0,
+        need_entries: int = 0,
+    ) -> None:
+        """Reclaim idle sessions, least-recently-touched first.
+
+        Caller holds the manager lock.  Stops once the requested headroom
+        (session slots and/or CAP entries) is reclaimed or nothing idle
+        remains.
+        """
+        freed_sessions = 0
+        freed_entries = 0
+        for session in sorted(self._sessions.values(), key=lambda s: s.touch_seq):
+            if freed_sessions >= need_sessions and freed_entries >= need_entries:
+                break
+            if session.id == active or not session.evictable:
+                continue
+            freed_entries += session.cap_entries()
+            freed_sessions += 1
+            session.close()
+            del self._sessions[session.id]
+            self.scheduler.unregister(session.id)
+            if len(self._evicted) >= 1024:
+                self._evicted.pop(next(iter(self._evicted)))
+            self._evicted[session.id] = reason
+            self.stats_counters.sessions_evicted += 1
+            self.stats_counters.eviction_log.append(
+                f"{session.id}: {reason}"
+            )
+
+    # -- introspection ---------------------------------------------------
+    def session_ids(self) -> list[str]:
+        """Ids of currently hosted sessions."""
+        with self._lock:
+            return list(self._sessions)
+
+    def stats(self) -> dict[str, object]:
+        """Service-level statistics (wire ``stats`` op without a session)."""
+        with self._lock:
+            open_sessions = len(self._sessions)
+        oracle = self.base_ctx.oracle
+        out: dict[str, object] = {
+            "open_sessions": open_sessions,
+            "max_sessions": self.max_sessions,
+            "cap_entry_budget": self.cap_entry_budget,
+            "cap_entries_in_use": self.total_cap_entries(),
+            "graph": {
+                "name": self.base_ctx.graph.name,
+                "num_vertices": self.base_ctx.graph.num_vertices,
+                "num_edges": self.base_ctx.graph.num_edges,
+            },
+            "scheduler": self.scheduler.stats(),
+            **self.stats_counters.snapshot(),
+        }
+        count = getattr(oracle, "query_count", None)
+        if count is not None:
+            out["oracle_query_count"] = count
+        return out

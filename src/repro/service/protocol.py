@@ -1,0 +1,203 @@
+"""JSON-lines wire protocol shared by :mod:`server` and :mod:`client`.
+
+One request per line, one response per line, UTF-8 JSON (no framing
+beyond the newline — every payload the service produces is newline-free).
+Requests::
+
+    {"id": 7, "op": "action", "session": "s1",
+     "action": {"kind": "NewVertex", "vertex_id": 0, "label": "A"}}
+
+Responses echo the request id::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": {"type": "SessionEvictedError",
+                                     "message": "...", "retryable": true}}
+
+Actions on the wire reuse the session-recording dict format
+(:mod:`repro.gui.recording`), so a recorded formulation replays over the
+network byte-for-byte.
+
+Match sets travel canonicalized (:func:`canonical_matches`): each match
+is a sorted ``[query_vertex, data_vertex]`` pair list and the match list
+itself is sorted — two runs produced the same ``V_Δ`` iff the encoded
+JSON strings are identical.  The determinism tests and the serve
+acceptance check compare exactly these bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.actions import Action
+from repro.core.blender import ActionReport, RunResult
+from repro.core.lowerbound import ResultSubgraph
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+    SessionEvictedError,
+    SessionNotFoundError,
+)
+from repro.gui.recording import action_from_dict, action_to_dict
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "canonical_matches",
+    "encode_line",
+    "decode_request",
+    "best_effort_id",
+    "decode_response",
+    "error_payload",
+    "action_payload",
+    "report_payload",
+    "run_payload",
+    "subgraph_payload",
+    "wire_action",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Every operation the server understands (documented in docs/SERVICE.md).
+OPS = (
+    "ping",
+    "create_session",
+    "action",
+    "run",
+    "results",
+    "matches",
+    "stats",
+    "close_session",
+    "shutdown",
+)
+
+#: Error types a client may retry (after recreating state if needed);
+#: everything else is a caller bug or a terminal server verdict.
+_RETRYABLE = (SessionEvictedError, AdmissionError)
+
+
+def canonical_matches(matches) -> list[list[list[int]]]:
+    """``V_Δ`` in canonical wire form: sorted pairs, sorted matches."""
+    return sorted(
+        [[int(q), int(v)] for q, v in sorted(m.items())] for m in matches
+    )
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """One wire line: compact JSON + newline."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes | str) -> dict[str, Any]:
+    """Parse one request line; typed :class:`ProtocolError` on junk."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    return payload
+
+
+def best_effort_id(line: bytes | str) -> Any:
+    """The ``id`` of a request line that failed validation, if any.
+
+    Error responses should still echo the id whenever the line was at
+    least well-formed JSON, so pipelining clients can correlate them.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return payload.get("id") if isinstance(payload, dict) else None
+
+
+def decode_response(line: bytes | str) -> dict[str, Any]:
+    """Parse one response line (client side)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"response is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ProtocolError("response must be a JSON object with 'ok'")
+    return payload
+
+
+def wire_action(payload: Any) -> Action:
+    """Decode the ``action`` field of an ``action`` request."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("'action' must be an object in recording format")
+    try:
+        return action_from_dict(payload)
+    except ReproError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def action_payload(action: Action) -> dict[str, Any]:
+    """Encode an action for the wire (recording format)."""
+    return action_to_dict(action)
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """The ``error`` object of a failure response."""
+    payload: dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "retryable": isinstance(exc, _RETRYABLE),
+    }
+    if isinstance(exc, DeadlineExceededError):
+        payload["deadline_context"] = exc.context
+    if isinstance(exc, (SessionNotFoundError, SessionEvictedError)):
+        payload["session"] = exc.session_id
+    return payload
+
+
+def report_payload(report: ActionReport) -> dict[str, Any]:
+    """Wire form of one :class:`ActionReport`."""
+    return {
+        "status": report.status,
+        "processed_now": report.processed_now,
+        "compute_seconds": report.compute_seconds,
+        "error": report.error,
+    }
+
+
+def run_payload(result: RunResult, backlog_seconds: float) -> dict[str, Any]:
+    """Wire form of a Run outcome (resilience status included)."""
+    return {
+        "num_matches": result.num_matches,
+        "truncated": result.matches.truncated,
+        "srt_seconds": backlog_seconds + result.srt_seconds,
+        "backlog_seconds": backlog_seconds,
+        "enumeration_seconds": result.enumeration_seconds,
+        "cap_construction_seconds": result.cap_construction_seconds,
+        "cap_size": result.cap_size.total,
+        "cap_peak_size": result.cap_peak_size,
+        "strategy": result.strategy,
+        "degraded": result.degraded,
+        "degradation_reason": result.degradation_reason,
+        "fallback": result.fallback,
+        "cap_repaired_edges": result.cap_repaired_edges,
+    }
+
+
+def subgraph_payload(subgraph: ResultSubgraph) -> dict[str, Any]:
+    """Wire form of one validated result subgraph."""
+    return {
+        "assignment": [[int(q), int(v)] for q, v in sorted(subgraph.assignment.items())],
+        "paths": [
+            {"edge": [int(u), int(v)], "path": [int(x) for x in path]}
+            for (u, v), path in sorted(subgraph.paths.items())
+        ],
+    }

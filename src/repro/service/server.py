@@ -1,0 +1,203 @@
+"""JSON-lines-over-TCP front end for the :class:`SessionManager`.
+
+A deliberately thin layer: sockets and framing only — every decision
+(admission, scheduling, eviction, resilience) lives in the manager so it
+is testable without a socket in sight.  One OS thread per connection
+(:class:`socketserver.ThreadingTCPServer`); concurrency across sessions
+comes from the manager's per-session locking, so two clients formulating
+different queries genuinely overlap on the shared oracle.
+
+Start one with ``python -m repro serve`` (see :mod:`repro.cli`) or embed
+it::
+
+    server = QueryServer(manager, host="127.0.0.1", port=0)
+    server.start()                   # background thread
+    ... ServiceClient(*server.address) ...
+    server.stop()
+
+The ``shutdown`` op stops the whole server after acknowledging — that is
+what gives scripted drivers (CI smoke job, benchmarks) a clean,
+assertable exit.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any
+
+from repro.errors import ProtocolError, ReproError
+from repro.service import protocol
+from repro.service.manager import SessionManager
+
+__all__ = ["QueryServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines."""
+
+    server: "_TCPServer"
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return  # client closed the connection
+            if not line.strip():
+                continue
+            response = self.server.query_server.handle_line(line)
+            try:
+                self.wfile.write(protocol.encode_line(response))
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                return
+            if response.pop("_close", False):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    query_server: "QueryServer"
+
+
+class QueryServer:
+    """The ``repro serve`` engine: a manager behind a line protocol."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.query_server = self
+        self._thread: threading.Thread | None = None
+        self._shutdown_requested = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`stop` or a ``shutdown`` op."""
+        try:
+            self._tcp.serve_forever(poll_interval=0.05)
+        finally:
+            self._tcp.server_close()
+
+    def start(self) -> "QueryServer":
+        """Serve on a daemon thread (embedding / tests); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and unwind (idempotent)."""
+        self._shutdown_requested.set()
+        self._tcp.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def shutdown_requested(self) -> bool:
+        """True once a client sent the ``shutdown`` op (or stop() ran)."""
+        return self._shutdown_requested.is_set()
+
+    # -- dispatch --------------------------------------------------------
+    def handle_line(self, line: bytes) -> dict[str, Any]:
+        """Decode one request line and produce the response payload."""
+        request_id: Any = None
+        try:
+            request = protocol.decode_request(line)
+            request_id = request.get("id")
+            result = self._dispatch(request)
+        except ReproError as exc:
+            if request_id is None:
+                request_id = protocol.best_effort_id(line)
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_payload(exc),
+            }
+        except Exception as exc:  # engine bug: report, keep the server up
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_payload(exc),
+            }
+        response: dict[str, Any] = {"id": request_id, "ok": True, "result": result}
+        if request.get("op") == "shutdown":
+            response["_close"] = True
+            # Ack first, then unwind the accept loop from another thread
+            # (serve_forever cannot be stopped from a handler thread it
+            # itself is blocking).
+            self._shutdown_requested.set()
+            threading.Thread(target=self._tcp.shutdown, daemon=True).start()
+        return response
+
+    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request["op"]
+        manager = self.manager
+        if op == "ping":
+            return {
+                "pong": True,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "graph": manager.base_ctx.graph.name,
+            }
+        if op == "create_session":
+            session = manager.create_session(
+                strategy=request.get("strategy"),
+                pruning=request.get("pruning"),
+                max_results=request.get("max_results"),
+                resilience=request.get("resilience"),
+                deadline_seconds=request.get("deadline_seconds"),
+            )
+            return {"session": session.id, "strategy": session.limits.strategy}
+        if op == "stats":
+            session_id = request.get("session")
+            if session_id is None:
+                return manager.stats()
+            session = manager.get(str(session_id))
+            with session.lock:
+                return session.stats()
+        if op == "shutdown":
+            return {"stopping": True}
+
+        # Everything else addresses one session.
+        session_id = request.get("session")
+        if not isinstance(session_id, str):
+            raise ProtocolError(f"op {op!r} requires a 'session' string")
+        if op == "action":
+            report = manager.apply_action(
+                session_id, protocol.wire_action(request.get("action"))
+            )
+            return protocol.report_payload(report)
+        if op == "run":
+            result = manager.run(session_id)
+            session = manager.get(session_id)
+            return protocol.run_payload(result, session.backlog_seconds)
+        if op == "matches":
+            return {
+                "matches": protocol.canonical_matches(manager.matches(session_id))
+            }
+        if op == "results":
+            limit = request.get("limit")
+            subgraphs = manager.results(
+                session_id, limit=int(limit) if limit is not None else None
+            )
+            return {"results": [protocol.subgraph_payload(s) for s in subgraphs]}
+        if op == "close_session":
+            manager.close_session(session_id)
+            return {"closed": session_id}
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover

@@ -126,6 +126,24 @@ def fig2_ctx(fig2_pre):
     return make_context(fig2_pre, latency=GUILatencyConstants().scaled(0.001))
 
 
+@pytest.fixture()
+def pooled_ctx(fig2_ctx):
+    """fig2 with ``t_avg`` inflated so upper-3 edges classify expensive.
+
+    fig2's candidate sets are tiny (4x4 at most), so with the measured
+    ``t_avg`` every edge is cheap and nothing ever pools.  Raising
+    ``t_avg`` to 2 ms puts the upper-3 estimates (8-32 ms) above ``t_lat``
+    (2 ms, so Definition 5.8 pools them) while small donated idle windows
+    (tens of ms) still fit them — the regime the service scheduler and
+    concurrency tests need.
+    """
+    from dataclasses import replace
+
+    return replace(
+        fig2_ctx, cost_model=replace(fig2_ctx.cost_model, t_avg=0.002)
+    )
+
+
 def make_fig2_query() -> BPHQuery:
     """The paper's Q1 on the Figure-2 graph: A-B [1,1], B-C [1,2], A-C [1,3]."""
     query = BPHQuery(name="fig2-Q1")

@@ -44,7 +44,8 @@ def test_public_api_objects_documented():
 @pytest.mark.parametrize(
     "filename",
     ["README.md", "DESIGN.md", "LICENSE", "pyproject.toml",
-     "docs/ALGORITHMS.md", "docs/ARCHITECTURE.md", "docs/USAGE.md"],
+     "docs/ALGORITHMS.md", "docs/ARCHITECTURE.md", "docs/USAGE.md",
+     "docs/SERVICE.md"],
 )
 def test_deliverable_files_present(filename):
     path = REPO_ROOT / filename

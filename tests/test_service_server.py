@@ -1,0 +1,192 @@
+"""Wire-level tests: QueryServer + ServiceClient over a real socket.
+
+Everything here exercises the actual TCP path (bind to an ephemeral
+127.0.0.1 port), because the framing, error mapping, and shutdown
+handshake are exactly the parts a manager-only test cannot see.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.graph.io import save_edge_list
+from repro.service import (
+    PROTOCOL_VERSION,
+    QueryServer,
+    ServiceClient,
+    SessionManager,
+    canonical_matches,
+)
+from repro.service.client import RemoteServiceError
+from tests.conftest import build_fig2_graph
+
+FIG2_ACTIONS = [
+    NewVertex(0, "A", latency_after=0.002),
+    NewVertex(1, "B", latency_after=0.002),
+    NewEdge(0, 1, 1, 1, latency_after=0.002),
+    NewVertex(2, "C", latency_after=0.002),
+    NewEdge(1, 2, 1, 2, latency_after=0.002),
+    NewEdge(0, 2, 1, 3, latency_after=0.002),
+]
+
+
+@pytest.fixture()
+def server(fig2_ctx):
+    srv = QueryServer(SessionManager(fig2_ctx), host="127.0.0.1", port=0).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(*server.address) as c:
+        yield c
+
+
+def test_ping(client, fig2_ctx):
+    pong = client.ping()
+    assert pong["pong"] is True
+    assert pong["protocol"] == PROTOCOL_VERSION
+    assert pong["graph"] == fig2_ctx.graph.name
+
+
+def test_scripted_session_matches_direct_boomer(client, fig2_ctx):
+    outcome = client.scripted_session(FIG2_ACTIONS, strategy="DI")
+    assert outcome["run"]["num_matches"] > 0
+
+    boomer = Boomer(fig2_ctx, strategy="DI", auto_idle=False)
+    for action in FIG2_ACTIONS:
+        boomer.apply(action)
+    boomer.apply(Run())
+    assert outcome["matches"] == canonical_matches(boomer.run_result.matches)
+
+
+def test_results_travel_validated(client):
+    outcome = client.scripted_session(FIG2_ACTIONS)
+    subgraphs = client.results(outcome["session"], limit=3)
+    assert 0 < len(subgraphs) <= 3
+    for sub in subgraphs:
+        assert [pair[0] for pair in sub["assignment"]] == [0, 1, 2]
+        assert sub["paths"]
+
+
+def test_bad_json_is_answered_not_fatal(server):
+    with socket.create_connection(server.address, timeout=10) as sock:
+        f = sock.makefile("rwb")
+        f.write(b"this is not json\n")
+        f.flush()
+        response = json.loads(f.readline())
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        # Same connection still serves valid requests afterwards.
+        f.write(b'{"id": 1, "op": "ping"}\n')
+        f.flush()
+        response = json.loads(f.readline())
+        assert response["ok"] is True and response["id"] == 1
+
+
+def test_unknown_op_is_protocol_error(client):
+    with pytest.raises(RemoteServiceError) as excinfo:
+        client.request("frobnicate")
+    assert excinfo.value.remote_type == "ProtocolError"
+    assert not excinfo.value.retryable
+
+
+def test_unknown_session_vs_evicted_retryability(fig2_ctx):
+    srv = QueryServer(
+        SessionManager(fig2_ctx, max_sessions=1), host="127.0.0.1", port=0
+    ).start()
+    try:
+        with ServiceClient(*srv.address) as client:
+            first = client.create_session()
+            client.create_session()  # evicts `first` (LRU, max_sessions=1)
+            with pytest.raises(RemoteServiceError) as evicted:
+                client.action(first, FIG2_ACTIONS[0])
+            assert evicted.value.remote_type == "SessionEvictedError"
+            assert evicted.value.retryable  # recreate-and-replay
+            with pytest.raises(RemoteServiceError) as unknown:
+                client.action("s999", FIG2_ACTIONS[0])
+            assert unknown.value.remote_type == "SessionNotFoundError"
+            assert not unknown.value.retryable
+    finally:
+        srv.stop()
+
+
+def test_stats_over_the_wire(client):
+    outcome = client.scripted_session(FIG2_ACTIONS)
+    service = client.stats()
+    assert service["open_sessions"] == 1
+    assert service["sessions_created"] == 1
+    session = client.stats(outcome["session"])
+    assert session["state"] == "ran"
+    assert session["run"]["num_matches"] == outcome["run"]["num_matches"]
+
+
+def test_close_session_frees_the_slot(client):
+    outcome = client.scripted_session(FIG2_ACTIONS)
+    client.close_session(outcome["session"])
+    assert client.stats()["open_sessions"] == 0
+    with pytest.raises(RemoteServiceError) as excinfo:
+        client.matches(outcome["session"])
+    assert excinfo.value.remote_type == "SessionNotFoundError"
+
+
+def test_shutdown_op_stops_the_server(fig2_ctx):
+    srv = QueryServer(SessionManager(fig2_ctx), host="127.0.0.1", port=0).start()
+    with ServiceClient(*srv.address) as client:
+        assert client.shutdown() == {"stopping": True}
+    assert srv.shutdown_requested
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection(srv.address, timeout=0.2).close()
+        except OSError:
+            break  # accept loop is gone
+        time.sleep(0.05)
+    else:
+        pytest.fail("server still accepting after shutdown op")
+    srv.stop()  # idempotent
+
+
+def test_cli_serve_subprocess_smoke(tmp_path):
+    """End-to-end: `python -m repro serve` driven by the in-repo client."""
+    graph_path = tmp_path / "fig2.txt"
+    save_edge_list(build_fig2_graph(), graph_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", str(graph_path),
+            "--port", "0",
+            "--t-avg-samples", "50",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        assert banner.startswith("serving on "), banner
+        host, port = banner.removeprefix("serving on ").rsplit(":", 1)
+        with ServiceClient(host, int(port), timeout=30.0) as client:
+            outcome = client.scripted_session(FIG2_ACTIONS, strategy="DI")
+            assert outcome["run"]["num_matches"] > 0
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
