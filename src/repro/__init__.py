@@ -27,7 +27,9 @@ Quickstart::
     print(result.num_matches, result.srt_seconds)
 """
 
+from repro import obs
 from repro.core import (
+    BlenderEngine,
     Boomer,
     BPHQuery,
     Bounds,
@@ -52,15 +54,30 @@ from repro.errors import (
     RetryExhaustedError,
 )
 from repro.faults import FaultPlan
+from repro.graph import Graph
+from repro.gui import SessionResult, VisualSession
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    metrics,
+)
 from repro.resilience import Deadline, ResilienceConfig, RetryPolicy
+from repro.service import QueryServer, ServiceClient, SessionManager
 
 __version__ = "1.0.0"
 
+#: The supported public surface.  ``tests/test_public_api.py`` pins this
+#: list — additions and removals are API decisions, made deliberately
+#: there, never as an import side effect.
 __all__ = [
+    # engine
     "Boomer",
+    "BlenderEngine",
     "BPHQuery",
     "Bounds",
     "CAPIndex",
+    "Graph",
     "GUILatencyConstants",
     "NewEdge",
     "NewVertex",
@@ -71,6 +88,20 @@ __all__ = [
     "make_context",
     "preprocess",
     "BoomerUnaware",
+    # harness
+    "VisualSession",
+    "SessionResult",
+    # service
+    "QueryServer",
+    "ServiceClient",
+    "SessionManager",
+    # observability
+    "obs",
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "metrics",
+    # errors & resilience
     "ReproError",
     "ResilienceError",
     "DeadlineExceededError",

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.core.context import EngineContext
 from repro.core.lowerbound import ResultSubgraph, filter_by_lower_bound
 from repro.core.query import BPHQuery
-from repro.utils.timing import now
+from repro.obs.clock import now
 
 __all__ = ["BoomerUnaware", "BUResult"]
 

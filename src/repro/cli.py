@@ -8,6 +8,9 @@ Subcommands::
         [--strategy DI] [--limit 10] [--rank compactness] [--dot out.dot]
     python -m repro serve --graph graph.txt [--port 7474] \
         [--max-sessions 64] [--cap-budget 1000000]
+    python -m repro obs summarize --trace trace.json
+    python -m repro obs tree --trace trace.json [--max-depth 3]
+    python -m repro obs metrics --port 7474 [--format json]
 
 ``serve`` hosts the multi-session query service (see docs/SERVICE.md): a
 JSON-lines-over-TCP protocol multiplexing many concurrent visual sessions
@@ -29,7 +32,15 @@ reference already-declared vertices).
 ``query`` and ``replay`` accept resilience options: ``--resilience``
 (off/default/strict/paranoid), ``--deadline`` (Run-phase budget, seconds),
 and ``--fault-plan`` (a :class:`repro.faults.FaultPlan` JSON file or
-inline JSON, for reproducing failure scenarios).
+inline JSON, for reproducing failure scenarios).  Both also take
+``--trace FILE``: the session runs with a live :mod:`repro.obs` tracer and
+the span timeline (spans + summary + SRT decomposition) lands in ``FILE``
+as JSON, ready for ``repro obs summarize`` / ``repro obs tree``.
+
+``obs`` inspects observability artifacts: ``summarize`` and ``tree`` read
+a ``--trace`` JSON file offline; ``metrics`` pulls the process-wide
+registry from a *running* ``repro serve`` instance over the wire
+(Prometheus-style text by default, ``--format json`` for the snapshot).
 
 Exit codes are distinct so scripts can branch on the outcome::
 
@@ -133,6 +144,32 @@ def _load_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     return FaultPlan.from_json(raw) if raw else None
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A live tracer when ``--trace`` was given, the no-op one otherwise."""
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    return Tracer() if getattr(args, "trace", None) else NULL_TRACER
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Finish ``tracer`` and dump its timeline as ``repro obs`` input."""
+    import json
+
+    from repro.obs import export as obs_export
+
+    tracer.finish()
+    spans = tracer.export()
+    payload = {
+        "spans": spans,
+        "summary": obs_export.summarize(spans),
+        "decomposition": obs_export.srt_decomposition(spans),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    print(f"trace ({len(spans)} spans) written to {path}", file=sys.stderr)
+
+
 def _resilience_config(
     args: argparse.Namespace, plan: FaultPlan | None
 ) -> ResilienceConfig | None:
@@ -168,11 +205,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     ctx = make_context(pre)
     if plan is not None:
         ctx = plan.wrap_context(ctx)
+    tracer = _make_tracer(args)
     boomer = Boomer(
         ctx,
         strategy=args.strategy,
         max_results=args.max_matches,
         resilience=config,
+        tracer=tracer,
     )
     for action in actions[:-1]:
         boomer.apply(action)
@@ -207,6 +246,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             to_dot(results[0], graph, boomer.query), encoding="utf-8"
         )
         print(f"\nDOT of top match written to {args.dot}", file=sys.stderr)
+    if args.trace:
+        _write_trace(tracer, args.trace)
     return EXIT_DEGRADED if run.degraded else EXIT_OK
 
 
@@ -219,10 +260,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
     print(pre.summary(), file=sys.stderr)
     plan = _load_fault_plan(args)
+    tracer = _make_tracer(args)
     session = VisualSession(
         make_context(pre),
         resilience=_resilience_config(args, plan),
         fault_plan=plan,
+        tracer=tracer,
     )
     result = session.run_actions(
         actions,
@@ -245,6 +288,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     for subgraph in result.boomer.results(limit=args.limit):
         print()
         print(to_text(subgraph, graph, result.boomer.query))
+    if args.trace:
+        _write_trace(tracer, args.trace)
     return EXIT_DEGRADED if result.degraded else EXIT_OK
 
 
@@ -301,6 +346,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _load_trace_file(path: str) -> list[dict]:
+    """Span records from a ``--trace`` dump (envelope dict or bare list)."""
+    import json
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read trace file {path}: {exc}") from exc
+    spans = payload.get("spans") if isinstance(payload, dict) else payload
+    if not isinstance(spans, list):
+        raise ReproError(f"{path}: expected a span list or a 'spans' key")
+    return spans
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import export as obs_export
+
+    if args.obs_command == "metrics":
+        from repro.service import ServiceClient
+
+        try:
+            with ServiceClient(args.host, args.port) as client:
+                if args.format == "json":
+                    snapshot = client.metrics()["metrics"]
+                    print(json.dumps(snapshot, indent=2, sort_keys=True))
+                else:
+                    print(client.metrics(format="text")["text"], end="")
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach repro serve at {args.host}:{args.port}: {exc}"
+            ) from exc
+        return EXIT_OK
+
+    spans = _load_trace_file(args.trace)
+    if args.obs_command == "tree":
+        print(obs_export.render_tree(spans, max_depth=args.max_depth))
+        return EXIT_OK
+    # summarize
+    report = {
+        "summary": obs_export.summarize(spans),
+        "decomposition": obs_export.srt_decomposition(spans),
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -331,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--dot", default=None, help="write top match as DOT here")
     query.add_argument("--t-avg-samples", type=int, default=5000)
     _add_resilience_flags(query)
+    _add_trace_flag(query)
     query.set_defaults(func=_cmd_query)
 
     replay = sub.add_parser(
@@ -343,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--max-matches", type=int, default=100_000)
     replay.add_argument("--t-avg-samples", type=int, default=5000)
     _add_resilience_flags(replay)
+    _add_trace_flag(replay)
     replay.set_defaults(func=_cmd_replay)
 
     serve = sub.add_parser(
@@ -382,7 +477,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-session Run-phase budget",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    obs = sub.add_parser(
+        "obs", help="inspect observability artifacts (traces, metrics)"
+    )
+    obs.set_defaults(func=_cmd_obs)
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="span-tree summary + SRT decomposition of a trace"
+    )
+    summarize.add_argument("--trace", required=True, help="trace JSON file")
+    tree = obs_sub.add_parser("tree", help="render a trace as an ASCII tree")
+    tree.add_argument("--trace", required=True, help="trace JSON file")
+    tree.add_argument(
+        "--max-depth", type=int, default=None, help="clip nesting below this"
+    )
+    metrics_cmd = obs_sub.add_parser(
+        "metrics", help="fetch the metrics registry from a running server"
+    )
+    metrics_cmd.add_argument("--host", default="127.0.0.1")
+    metrics_cmd.add_argument("--port", type=int, default=7474)
+    metrics_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
     return parser
+
+
+def _add_trace_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="trace the session and write its span timeline here (JSON)",
+    )
 
 
 def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:

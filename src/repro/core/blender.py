@@ -74,10 +74,21 @@ from repro.errors import (
     RetryExhaustedError,
     SessionError,
 )
+from repro.obs.clock import now
+from repro.obs.metrics import record_run_counters
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.resilience import CAPInvariantChecker, Deadline, ResilienceConfig
-from repro.utils.timing import Stopwatch, TimeBudget, now
+from repro.utils.timing import Stopwatch, TimeBudget
 
 __all__ = ["BlenderEngine", "Boomer", "ActionReport", "RunResult"]
+
+#: Span names per GUI action type (the ``action.*`` taxonomy).
+_ACTION_SPANS: dict[type, str] = {
+    NewVertex: "action.new_vertex",
+    NewEdge: "action.new_edge",
+    ModifyBounds: "action.modify_bounds",
+    DeleteEdge: "action.delete_edge",
+}
 
 
 @dataclass
@@ -146,9 +157,11 @@ class BlenderEngine:
         pruning: bool = True,
         force_large_upper: bool = False,
         resilience: ResilienceConfig | None = None,
+        tracer: Tracer | NullTracer = NULL_TRACER,
     ) -> None:
         self.ctx = ctx
         self.strategy = strategy
+        self.tracer = tracer
         self.query = BPHQuery()
         self.cap = CAPIndex(pruning_enabled=pruning)
         self.pool = EdgePool()
@@ -192,8 +205,9 @@ class BlenderEngine:
 
     def process_new_vertex(self, vertex_id: int, label: object) -> None:
         """Create the CAP level for a fresh query vertex (Alg. 2 lines 2-4)."""
-        with self._active_timer():
-            self.cap.add_level(vertex_id, self.ctx.candidates_for(label))
+        with self.tracer.span("cap.add_level", vertex=vertex_id):
+            with self._active_timer():
+                self.cap.add_level(vertex_id, self.ctx.candidates_for(label))
 
     def process_edge(self, edge: QueryEdge) -> float:
         """ProcessEdge (Algorithm 6): begin, populate, prune.  Returns cost.
@@ -206,16 +220,17 @@ class BlenderEngine:
         never left half-processed.
         """
         start = now()
-        with self._active_timer():
-            if self.resilience is not None:
-                self.resilience.retry.call(
-                    self._process_edge_once,
-                    edge,
-                    deadline=self.deadline,
-                    label=f"process_edge{edge.key}",
-                )
-            else:
-                self._process_edge_once(edge)
+        with self.tracer.span("cap.process_edge", edge=str(edge.key)):
+            with self._active_timer():
+                if self.resilience is not None:
+                    self.resilience.retry.call(
+                        self._process_edge_once,
+                        edge,
+                        deadline=self.deadline,
+                        label=f"process_edge{edge.key}",
+                    )
+                else:
+                    self._process_edge_once(edge)
         return now() - start
 
     def _process_edge_once(self, edge: QueryEdge) -> None:
@@ -258,16 +273,18 @@ class BlenderEngine:
         """
         self.ctx.counters.pool_probes += 1
         processed = 0
-        while self.pool and not budget.exhausted:
-            self.checkpoint("pool probe")
-            entry = self.pool.min_edge(self.cap, self.cost_model)
-            if entry is None:
-                break
-            edge, estimated = entry
-            if estimated > budget.remaining():
-                break  # still too expensive; await the next GUI action
-            self._process_pooled(edge)
-            processed += 1
+        with self.tracer.span("pool.probe", budget=budget.limit) as span:
+            while self.pool and not budget.exhausted:
+                self.checkpoint("pool probe")
+                entry = self.pool.min_edge(self.cap, self.cost_model)
+                if entry is None:
+                    break
+                edge, estimated = entry
+                if estimated > budget.remaining():
+                    break  # still too expensive; await the next GUI action
+                self._process_pooled(edge)
+                processed += 1
+            span.set(edges=processed)
         return processed
 
     def probe_one(self, remaining_seconds: float) -> int:
@@ -285,20 +302,27 @@ class BlenderEngine:
         if estimated > remaining_seconds:
             return 0
         self.ctx.counters.pool_probes += 1
-        self._process_pooled(edge)
+        with self.tracer.span("pool.probe", donated=True) as span:
+            self._process_pooled(edge)
+            span.set(edges=1)
         return 1
 
     def drain_pool(self) -> int:
         """Process every pooled edge, cheapest (current T_est) first."""
         processed = 0
-        while self.pool:
-            self.checkpoint("pool drain")
-            entry = self.pool.min_edge(self.cap, self.cost_model)
-            if entry is None:  # pragma: no cover - defensive
-                break
-            edge, _ = entry
-            self._process_pooled(edge)
-            processed += 1
+        # During formulation (IC's post-modification catch-up) this is
+        # "pool.drain"; at the Run click it is the SRT's drain stage.
+        name = "run.drain" if self._phase == "run" else "pool.drain"
+        with self.tracer.span(name) as span:
+            while self.pool:
+                self.checkpoint("pool drain")
+                entry = self.pool.min_edge(self.cap, self.cost_model)
+                if entry is None:  # pragma: no cover - defensive
+                    break
+                edge, _ = entry
+                self._process_pooled(edge)
+                processed += 1
+            span.set(edges=processed)
         return processed
 
     def after_modification(self) -> None:
@@ -341,6 +365,11 @@ class Boomer:
         the affected action is reported ``failed-deferred``), the Run
         phase is retried/deadline-bounded, and unrecoverable CAP failures
         degrade to the BU baseline instead of raising.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When set, the session emits
+        the span taxonomy in ``docs/OBSERVABILITY.md`` (a ``session``
+        root tiled by ``phase.formulation``/``phase.run``, with per-action
+        and per-edge children).  Defaults to the free no-op tracer.
     """
 
     def __init__(
@@ -352,16 +381,19 @@ class Boomer:
         max_results: int | None = None,
         auto_idle: bool = True,
         resilience: ResilienceConfig | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if isinstance(strategy, str):
             strategy = make_strategy(strategy)
         self.resilience = resilience
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.engine = BlenderEngine(
             ctx,
             strategy,
             pruning=pruning,
             force_large_upper=force_large_upper,
             resilience=resilience,
+            tracer=self.tracer,
         )
         self.max_results = max_results
         #: When True (standalone use), each apply() ends with an idle-probe
@@ -378,6 +410,14 @@ class Boomer:
         self._result_ctx: EngineContext = ctx
         #: Messages of every failure the resilience layer absorbed.
         self.absorbed_failures: list[str] = []
+        #: Session root span + the formulation phase child, opened lazily
+        #: at the first action so the trace starts with real work.
+        self._session_span = None
+        self._formulation_span = None
+        #: Counter values at session start: contexts are often shared
+        #: across sessions (experiment loops), so the global metrics must
+        #: only absorb this session's delta, not the cumulative totals.
+        self._counters_baseline = ctx.counters.snapshot()
 
     # -- convenience passthroughs ---------------------------------------------
     @property
@@ -395,6 +435,24 @@ class Boomer:
         """Short name of the active construction strategy."""
         return self.engine.strategy.name
 
+    # -- session span lifecycle ----------------------------------------------
+    def _open_session_spans(self) -> None:
+        """Open the ``session`` root + ``phase.formulation`` child (once)."""
+        if self._session_span is None and self.tracer.enabled:
+            self._session_span = self.tracer.start(
+                "session", strategy=self.engine.strategy.name
+            )
+            self._formulation_span = self.tracer.start("phase.formulation")
+
+    def _close_session_spans(self, error: str | None = None) -> None:
+        """Close the root (and any phase still open) so the tree balances."""
+        if self._formulation_span is not None:
+            self._formulation_span.close(error=error)
+            self._formulation_span = None
+        if self._session_span is not None:
+            self._session_span.close(error=error)
+            self._session_span = None
+
     # -- Algorithm 1 event loop ---------------------------------------------
     def apply(self, action: Action) -> ActionReport:
         """Apply one GUI action; returns what the engine did with it."""
@@ -409,8 +467,25 @@ class Boomer:
                 "session is in a terminal failed-Run state; "
                 "no further actions are accepted — start a new session"
             )
+        self._open_session_spans()
         if isinstance(action, Run):
-            self._run()
+            # Formulation ends here: the phases tile the session root.
+            if self._formulation_span is not None:
+                self._formulation_span.close()
+                self._formulation_span = None
+            run_span = self.tracer.start("phase.run")
+            try:
+                self._run()
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                run_span.close(error=message)
+                self._close_session_spans(error=message)
+                raise
+            run_span.set(
+                matches=self.run_result.num_matches,
+                degraded=self.run_result.degraded,
+            ).close()
+            self._close_session_spans()
             report = ActionReport(
                 action=action,
                 processed_now=True,
@@ -422,6 +497,7 @@ class Boomer:
             return report
 
         engine = self.engine
+        span = self.tracer.start(_ACTION_SPANS.get(type(action), "action.other"))
         start = now()
         modification: ModificationReport | None = None
         processed_now = True
@@ -430,23 +506,28 @@ class Boomer:
 
         try:
             if isinstance(action, NewVertex):
+                span.set(vertex=action.vertex_id)
                 engine.query.add_vertex(action.label, vertex_id=action.vertex_id)
                 engine.process_new_vertex(action.vertex_id, action.label)
             elif isinstance(action, NewEdge):
+                span.set(edge=f"({action.u}, {action.v})")
                 edge = engine.query.add_edge(
                     action.u, action.v, lower=action.lower, upper=action.upper
                 )
                 processed_now = engine.strategy.on_new_edge(engine, edge)
             elif isinstance(action, ModifyBounds):
+                span.set(edge=f"({action.u}, {action.v})")
                 modification = modify_bounds(
                     engine, action.u, action.v, action.lower, action.upper
                 )
             elif isinstance(action, DeleteEdge):
+                span.set(edge=f"({action.u}, {action.v})")
                 modification = delete_edge(engine, action.u, action.v)
             else:
                 raise ActionError(f"unsupported action {action!r}")
         except Exception as exc:
             if not self._absorbable(exc):
+                span.close(error=f"{type(exc).__name__}: {exc}")
                 raise
             self._repair_after_action_failure(action)
             processed_now = False
@@ -465,6 +546,7 @@ class Boomer:
             )
             probe_seconds = self.probe_idle(max(latency - spent, 0.0))
 
+        span.set(deferred=not processed_now, status=status).close(error=error)
         report = ActionReport(
             action=action,
             processed_now=processed_now,
@@ -571,17 +653,21 @@ class Boomer:
             try:
                 engine.drain_pool()
                 if config is not None and config.verify_cap_on_run:
-                    repaired_edges = self._verify_cap()
+                    with self.tracer.span("run.verify_cap") as vspan:
+                        repaired_edges = self._verify_cap()
+                        vspan.set(repaired_edges=repaired_edges)
                 drain_seconds = now() - srt_start
 
                 enum_start = now()
-                matches = partial_vertex_sets(
-                    engine.query,
-                    engine.cap,
-                    matching_order=engine.query.matching_order,
-                    max_results=self.max_results,
-                    deadline=deadline,
-                )
+                with self.tracer.span("run.enumerate") as espan:
+                    matches = partial_vertex_sets(
+                        engine.query,
+                        engine.cap,
+                        matching_order=engine.query.matching_order,
+                        max_results=self.max_results,
+                        deadline=deadline,
+                    )
+                    espan.set(matches=len(matches))
                 enumeration_seconds = now() - enum_start
             except DeadlineExceededError:
                 raise  # never degrade past the deadline: BU is strictly slower
@@ -590,11 +676,23 @@ class Boomer:
                     raise
                 drain_seconds = now() - srt_start
                 enum_start = now()
-                matches, fallback = self._degrade(exc, deadline)
+                with self.tracer.span(
+                    "run.degrade", cause=f"{type(exc).__name__}: {exc}"
+                ) as dspan:
+                    matches, fallback = self._degrade(exc, deadline)
+                    dspan.set(rung=fallback, matches=len(matches))
                 enumeration_seconds = now() - enum_start
                 degraded = True
                 degradation_reason = f"{type(exc).__name__}: {exc}"
                 self.absorbed_failures.append(degradation_reason)
+        except Exception:
+            record_run_counters(
+                self._counters_delta(engine.ctx.counters.snapshot()),
+                srt_seconds=now() - srt_start,
+                cap_construction_seconds=engine.cap_construction_seconds,
+                outcome="failed",
+            )
+            raise
         finally:
             engine.deadline = None
 
@@ -614,6 +712,20 @@ class Boomer:
             fallback=fallback,
             cap_repaired_edges=repaired_edges,
         )
+        record_run_counters(
+            self._counters_delta(self.run_result.counters),
+            srt_seconds=self.run_result.srt_seconds,
+            cap_construction_seconds=self.run_result.cap_construction_seconds,
+            outcome="degraded" if degraded else "ok",
+            fallback=fallback,
+        )
+
+    def _counters_delta(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """This session's share of the (possibly shared) context counters."""
+        return {
+            key: value - self._counters_baseline.get(key, 0)
+            for key, value in snapshot.items()
+        }
 
     @staticmethod
     def _degradable(exc: Exception) -> bool:
@@ -698,12 +810,14 @@ class Boomer:
         """
         if self.run_result is None:
             raise SessionError("call apply(Run()) before visualizing results")
-        with self.result_generation:
+        with self.tracer.span("result.visualize") as span, self.result_generation:
             # _result_ctx is the session context normally; after a degraded
             # run it is the fallback rung's context, so JIT lower-bound
             # checks never touch a dead oracle.
             try:
-                return filter_by_lower_bound(match, self.engine.query, self._result_ctx)
+                subgraph = filter_by_lower_bound(
+                    match, self.engine.query, self._result_ctx
+                )
             except Exception as exc:
                 if not self._absorbable(exc):
                     raise
@@ -717,7 +831,11 @@ class Boomer:
                 self._result_ctx = replace(
                     self.engine.ctx, oracle=shared_bfs_oracle(self.engine.ctx.graph)
                 )
-                return filter_by_lower_bound(match, self.engine.query, self._result_ctx)
+                subgraph = filter_by_lower_bound(
+                    match, self.engine.query, self._result_ctx
+                )
+            span.set(valid=subgraph is not None)
+            return subgraph
 
     def iter_results(self):
         """Lazily yield validated result subgraphs, one per Results-Panel step.

@@ -26,7 +26,7 @@ from repro.indexing.oracle import DistanceOracle
 from repro.indexing.pml import PrunedLandmarkLabeling
 from repro.indexing.twohop import two_hop_counts
 from repro.utils.rng import seeded_rng
-from repro.utils.timing import now
+from repro.obs.clock import now
 
 __all__ = ["PreprocessResult", "preprocess", "measure_t_avg", "make_context"]
 

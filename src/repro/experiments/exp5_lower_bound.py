@@ -26,7 +26,7 @@ from repro.experiments.harness import (
     session_for,
 )
 from repro.utils.rng import seeded_rng
-from repro.utils.timing import now
+from repro.obs.clock import now
 from repro.workload.generator import QueryInstance, instantiate
 
 __all__ = ["Exp5LowerBound", "exp5_instance", "LOWER_SWEEP"]

@@ -115,7 +115,7 @@ class Exp6Modification(Experiment):
     @staticmethod
     def _repair_cost_ms(boomer, report) -> float:
         """Modification work + draining everything the rollback re-pooled."""
-        from repro.utils.timing import now
+        from repro.obs.clock import now
 
         start = now()
         boomer.engine.drain_pool()

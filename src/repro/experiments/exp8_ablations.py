@@ -28,7 +28,7 @@ from repro.experiments.harness import (
 )
 from repro.gui.session import VisualSession
 from repro.indexing.oracle import BFSOracle
-from repro.utils.timing import now
+from repro.obs.clock import now
 from repro.workload.generator import instantiate
 
 __all__ = ["Exp8Ablations"]

@@ -44,6 +44,7 @@ from repro.core.cost import GUILatencyConstants
 from repro.errors import SessionError
 from repro.gui.latency import LatencyModel
 from repro.gui.simulator import SimulatedUser
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.resilience import ResilienceConfig
 from repro.workload.generator import QueryInstance
 
@@ -192,6 +193,7 @@ class VisualSession:
         seed: int = 0,
         resilience: ResilienceConfig | None = None,
         fault_plan: "FaultPlan | None" = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if (
             fault_plan is not None
@@ -208,6 +210,9 @@ class VisualSession:
             resilience = replace(resilience, verify_cap_on_run=True)
         self.resilience = resilience
         self.fault_plan = fault_plan
+        #: Shared across every session this harness runs; pass a fresh
+        #: :class:`~repro.obs.trace.Tracer` per run for isolated timelines.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if fault_plan is not None:
             # Oracle faults apply to every engine built from this context.
             ctx = fault_plan.wrap_context(ctx)
@@ -262,6 +267,7 @@ class VisualSession:
             max_results=max_results,
             auto_idle=False,
             resilience=self.resilience,
+            tracer=self.tracer,
         )
 
         # Virtual timeline.  Action i is *performed* by the user during

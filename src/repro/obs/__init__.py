@@ -1,0 +1,47 @@
+"""repro.obs — zero-dependency tracing + metrics for the blended engine.
+
+The observability layer has three parts, all stdlib-only so every other
+subsystem can depend on it without cycles:
+
+* :mod:`repro.obs.clock` — the single monotonic clock shared by spans,
+  stopwatches, budgets, and deadlines;
+* :mod:`repro.obs.trace` — per-session span tracing (:class:`Tracer`)
+  with parent/child nesting and a bounded ring buffer, plus the no-op
+  :data:`NULL_TRACER` that makes un-traced runs essentially free;
+* :mod:`repro.obs.metrics` — the process-wide
+  :class:`MetricsRegistry` (:data:`metrics`) of counters/gauges/
+  histograms with snapshot/delta export and Prometheus-style text
+  exposition.
+
+:mod:`repro.obs.export` turns exported span records back into trees,
+summaries, and the Figure-7 SRT decomposition.  See
+``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+from repro.obs import clock, export
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    record_run_counters,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "clock",
+    "export",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "record_run_counters",
+]

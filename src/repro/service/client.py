@@ -12,8 +12,12 @@ job, the concurrency tests, and ``benchmarks/bench_service_throughput``.
         matches = client.matches(sid)
 
 Server-side failures surface as :class:`RemoteServiceError` carrying the
-original error type name (``error.remote_type``) and whether the server
-considers the condition retryable (eviction, admission refusals).
+stable v2 error code (``error.code``), the original exception class name
+(``error.remote_type``), and whether the server considers the condition
+retryable (eviction, admission refusals).
+
+The client speaks protocol v2 (``v``/``req_id`` envelope) but understands
+v1-shaped error payloads too, so it can talk to a pre-envelope server.
 """
 
 from __future__ import annotations
@@ -29,10 +33,19 @@ __all__ = ["ServiceClient", "RemoteServiceError"]
 
 
 class RemoteServiceError(ServiceError):
-    """A failure response from the service, rehydrated client-side."""
+    """A failure response from the service, rehydrated client-side.
+
+    Accepts both error dialects: the v2 typed envelope (``code`` +
+    ``details.type``) and the deprecated v1 shape (bare ``type``).
+    """
 
     def __init__(self, payload: dict[str, Any]) -> None:
-        self.remote_type = str(payload.get("type", "UnknownError"))
+        details = payload.get("details")
+        details = details if isinstance(details, dict) else {}
+        self.code = str(payload.get("code", "")) or None
+        self.remote_type = str(
+            details.get("type") or payload.get("type") or "UnknownError"
+        )
         self.retryable = bool(payload.get("retryable", False))
         self.payload = payload
         super().__init__(f"{self.remote_type}: {payload.get('message', '')}")
@@ -48,18 +61,24 @@ class ServiceClient:
 
     # -- plumbing --------------------------------------------------------
     def request(self, op: str, **params: Any) -> dict[str, Any]:
-        """Send one request, wait for its response, return ``result``."""
+        """Send one v2 request, wait for its response, return ``result``."""
         self._next_id += 1
-        payload = {"id": self._next_id, "op": op, **params}
+        payload = {
+            "v": protocol.PROTOCOL_VERSION,
+            "req_id": self._next_id,
+            "op": op,
+            **params,
+        }
         self._file.write(protocol.encode_line(payload))
         self._file.flush()
         line = self._file.readline()
         if not line:
             raise ServiceError("server closed the connection mid-request")
         response = protocol.decode_response(line)
-        if response.get("id") != self._next_id:
+        echoed = response.get("req_id", response.get("id"))
+        if echoed != self._next_id:
             raise ServiceError(
-                f"response id {response.get('id')!r} does not match "
+                f"response id {echoed!r} does not match "
                 f"request id {self._next_id}"
             )
         if not response.get("ok"):
@@ -91,6 +110,7 @@ class ServiceClient:
         max_results: int | None = None,
         resilience: str | None = None,
         deadline_seconds: float | None = None,
+        trace: bool | None = None,
     ) -> str:
         """Create a session; returns its id."""
         params: dict[str, Any] = {}
@@ -104,6 +124,8 @@ class ServiceClient:
             params["resilience"] = resilience
         if deadline_seconds is not None:
             params["deadline_seconds"] = deadline_seconds
+        if trace is not None:
+            params["trace"] = trace
         return str(self.request("create_session", **params)["session"])
 
     def action(self, session: str, action: Action | dict[str, Any]) -> dict[str, Any]:
@@ -135,6 +157,16 @@ class ServiceClient:
         if session is None:
             return self.request("stats")
         return self.request("stats", session=session)
+
+    def trace(self, session: str, include_open: bool = True) -> dict[str, Any]:
+        """A session's span timeline: spans + summary + SRT decomposition."""
+        return self.request("trace", session=session, include_open=include_open)
+
+    def metrics(self, format: str | None = None) -> dict[str, Any]:
+        """The process-wide metrics registry (snapshot, or text exposition)."""
+        if format is None:
+            return self.request("metrics")
+        return self.request("metrics", format=format)
 
     def close_session(self, session: str) -> dict[str, Any]:
         return self.request("close_session", session=session)

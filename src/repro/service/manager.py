@@ -48,6 +48,7 @@ from repro.errors import (
     SessionEvictedError,
     SessionNotFoundError,
 )
+from repro.obs.metrics import metrics
 from repro.resilience import ResilienceConfig
 from repro.service.scheduler import IdleScheduler
 from repro.service.session import ManagedSession, SessionLimits
@@ -120,10 +121,11 @@ class SessionManager:
         max_results: int | None = None,
         resilience: str | ResilienceConfig | None = None,
         deadline_seconds: float | None = None,
+        trace: bool | None = None,
     ) -> ManagedSession:
         """Admit a new session (evicting idle LRU sessions if needed)."""
         limits = self._build_limits(
-            strategy, pruning, max_results, resilience, deadline_seconds
+            strategy, pruning, max_results, resilience, deadline_seconds, trace
         )
         with self._lock:
             if len(self._sessions) >= self.max_sessions:
@@ -132,6 +134,10 @@ class SessionManager:
                 )
             if len(self._sessions) >= self.max_sessions:
                 self.stats_counters.admission_rejections += 1
+                metrics.counter(
+                    "repro_admission_rejections_total",
+                    "session creations refused for lack of budget",
+                ).inc()
                 raise AdmissionError(
                     f"session budget exhausted ({self.max_sessions} open, "
                     "none evictable)"
@@ -142,6 +148,12 @@ class SessionManager:
             self._sessions[session_id] = session
             self.scheduler.register(session)
             self.stats_counters.sessions_created += 1
+            metrics.counter(
+                "repro_sessions_created_total", "sessions admitted"
+            ).inc()
+            metrics.gauge(
+                "repro_sessions_open", "currently hosted sessions"
+            ).set(len(self._sessions))
             return session
 
     def _build_limits(
@@ -151,6 +163,7 @@ class SessionManager:
         max_results: int | None,
         resilience: str | ResilienceConfig | None,
         deadline_seconds: float | None,
+        trace: bool | None = None,
     ) -> SessionLimits:
         base = self.default_limits
         config: ResilienceConfig | None
@@ -176,6 +189,8 @@ class SessionManager:
             pruning=pruning if pruning is not None else base.pruning,
             max_results=max_results if max_results is not None else base.max_results,
             resilience=config,
+            trace=trace if trace is not None else base.trace,
+            trace_capacity=base.trace_capacity,
         )
 
     def close_session(self, session_id: str) -> None:
@@ -187,6 +202,9 @@ class SessionManager:
             self._sessions.pop(session_id, None)
             self.scheduler.unregister(session_id)
             self.stats_counters.sessions_closed += 1
+            metrics.gauge(
+                "repro_sessions_open", "currently hosted sessions"
+            ).set(len(self._sessions))
 
     def get(self, session_id: str) -> ManagedSession:
         """Look up a live session; typed errors for evicted vs unknown."""
@@ -242,6 +260,13 @@ class SessionManager:
         with session.lock:
             self._touch(session)
             return session.matches()
+
+    def trace(self, session_id: str, include_open: bool = True) -> dict[str, object]:
+        """One session's span timeline (the wire ``trace`` verb)."""
+        session = self.get(session_id)
+        with session.lock:
+            self._touch(session)
+            return session.trace_export(include_open=include_open)
 
     # -- accounting / eviction -------------------------------------------
     def _touch(self, session: ManagedSession) -> None:
@@ -316,6 +341,11 @@ class SessionManager:
             self.stats_counters.eviction_log.append(
                 f"{session.id}: {reason}"
             )
+            metrics.counter(
+                "repro_sessions_evicted_total",
+                "idle sessions reclaimed by budget enforcement",
+                reason=reason.replace(" ", "_"),
+            ).inc()
 
     # -- introspection ---------------------------------------------------
     def session_ids(self) -> list[str]:

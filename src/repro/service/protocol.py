@@ -2,16 +2,28 @@
 
 One request per line, one response per line, UTF-8 JSON (no framing
 beyond the newline — every payload the service produces is newline-free).
-Requests::
 
-    {"id": 7, "op": "action", "session": "s1",
+**Protocol v2** (current) puts a versioned envelope on every frame::
+
+    {"v": 2, "req_id": 7, "op": "action", "session": "s1",
      "action": {"kind": "NewVertex", "vertex_id": 0, "label": "A"}}
 
-Responses echo the request id::
+    {"v": 2, "req_id": 7, "ok": true, "result": {...}}
+    {"v": 2, "req_id": 7, "ok": false,
+     "error": {"code": "session_evicted", "message": "...",
+               "retryable": true, "details": {"type": "SessionEvictedError",
+                                              "session": "s1"}}}
 
-    {"id": 7, "ok": true, "result": {...}}
-    {"id": 7, "ok": false, "error": {"type": "SessionEvictedError",
-                                     "message": "...", "retryable": true}}
+Every failure uses that single typed error envelope: a stable ``code``
+from :data:`ERROR_CODES` (what programs switch on), a human ``message``,
+a ``retryable`` hint, and ``details`` carrying the originating exception
+class plus any exception-specific extras.
+
+**Protocol v1** (deprecated, still accepted) is the pre-envelope dialect:
+requests carry ``id`` and no ``v``; responses echo ``id`` and errors are
+the ad-hoc ``{"type", "message", "retryable", ...}`` shape.  The server
+answers each request in the dialect it arrived in, so old clients keep
+round-tripping unchanged — see docs/SERVICE.md for the migration notes.
 
 Actions on the wire reuse the session-recording dict format
 (:mod:`repro.gui.recording`), so a recorded formulation replays over the
@@ -33,10 +45,15 @@ from repro.core.actions import Action
 from repro.core.blender import ActionReport, RunResult
 from repro.core.lowerbound import ResultSubgraph
 from repro.errors import (
+    ActionError,
     AdmissionError,
+    CAPCorruptionError,
     DeadlineExceededError,
+    DegradedModeError,
     ProtocolError,
     ReproError,
+    RetryExhaustedError,
+    SessionError,
     SessionEvictedError,
     SessionNotFoundError,
 )
@@ -44,12 +61,19 @@ from repro.gui.recording import action_from_dict, action_to_dict
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "OPS",
+    "ERROR_CODES",
     "canonical_matches",
     "encode_line",
     "decode_request",
+    "request_version",
+    "request_id",
     "best_effort_id",
     "decode_response",
+    "ok_response",
+    "error_response",
+    "error_code",
     "error_payload",
     "action_payload",
     "report_payload",
@@ -58,7 +82,11 @@ __all__ = [
     "wire_action",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Dialects the server still answers.  v1 is deprecated: it predates the
+#: envelope (no ``v``, ``id`` instead of ``req_id``, ad-hoc error shapes).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Every operation the server understands (documented in docs/SERVICE.md).
 OPS = (
@@ -69,6 +97,8 @@ OPS = (
     "results",
     "matches",
     "stats",
+    "trace",
+    "metrics",
     "close_session",
     "shutdown",
 )
@@ -76,6 +106,31 @@ OPS = (
 #: Error types a client may retry (after recreating state if needed);
 #: everything else is a caller bug or a terminal server verdict.
 _RETRYABLE = (SessionEvictedError, AdmissionError)
+
+#: Stable v2 error codes by exception type — what client programs switch
+#: on (exception class names are an implementation detail carried in
+#: ``details.type``).  First match wins, so subclasses precede bases.
+ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (ProtocolError, "bad_request"),
+    (SessionNotFoundError, "session_not_found"),
+    (SessionEvictedError, "session_evicted"),
+    (AdmissionError, "admission_refused"),
+    (DeadlineExceededError, "deadline_exceeded"),
+    (DegradedModeError, "degraded_mode"),
+    (CAPCorruptionError, "cap_corrupted"),
+    (RetryExhaustedError, "retry_exhausted"),
+    (ActionError, "bad_action"),
+    (SessionError, "session_state"),
+    (ReproError, "engine_error"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable v2 ``code`` for an exception (``internal_error`` fallback)."""
+    for cls, code in ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal_error"
 
 
 def canonical_matches(matches) -> list[list[list[int]]]:
@@ -91,7 +146,14 @@ def encode_line(payload: dict[str, Any]) -> bytes:
 
 
 def decode_request(line: bytes | str) -> dict[str, Any]:
-    """Parse one request line; typed :class:`ProtocolError` on junk."""
+    """Parse one request line; typed :class:`ProtocolError` on junk.
+
+    Negotiation happens here: a frame without ``v`` is a deprecated v1
+    request; ``v`` must otherwise name a supported dialect.  The raw
+    payload is returned — read the dialect back with
+    :func:`request_version` and the correlation id with
+    :func:`request_id`.
+    """
     if isinstance(line, bytes):
         line = line.decode("utf-8", errors="replace")
     try:
@@ -100,25 +162,85 @@ def decode_request(line: bytes | str) -> dict[str, Any]:
         raise ProtocolError(f"request is not valid JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise ProtocolError("request must be a JSON object")
+    version = payload.get("v", 1)
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(supported: {SUPPORTED_VERSIONS})"
+        )
     op = payload.get("op")
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
     return payload
 
 
-def best_effort_id(line: bytes | str) -> Any:
-    """The ``id`` of a request line that failed validation, if any.
+def request_version(request: dict[str, Any]) -> int:
+    """The dialect a decoded request arrived in (absent ``v`` = 1)."""
+    version = request.get("v", 1)
+    return version if version in SUPPORTED_VERSIONS else 1
 
-    Error responses should still echo the id whenever the line was at
-    least well-formed JSON, so pipelining clients can correlate them.
+
+def request_id(request: dict[str, Any]) -> Any:
+    """The correlation id of a decoded request (``req_id`` or legacy ``id``)."""
+    if "req_id" in request:
+        return request["req_id"]
+    return request.get("id")
+
+
+def best_effort_id(line: bytes | str) -> tuple[Any, int]:
+    """``(correlation id, version)`` of a request line that failed validation.
+
+    Error responses should still echo the id (in the right dialect)
+    whenever the line was at least well-formed JSON, so pipelining
+    clients can correlate them.  Anything that did not explicitly claim
+    a v2+ envelope — junk included — is answered in the legacy v1 shape,
+    which every client understands.
     """
     if isinstance(line, bytes):
         line = line.decode("utf-8", errors="replace")
     try:
         payload = json.loads(line)
     except json.JSONDecodeError:
-        return None
-    return payload.get("id") if isinstance(payload, dict) else None
+        return None, 1
+    if not isinstance(payload, dict):
+        return None, 1
+    version = payload.get("v", 1)
+    if not isinstance(version, int) or version not in SUPPORTED_VERSIONS:
+        version = PROTOCOL_VERSION if isinstance(version, int) and version >= 2 else 1
+    return request_id(payload), version
+
+
+def ok_response(version: int, req_id: Any, result: dict[str, Any]) -> dict[str, Any]:
+    """A success frame in the dialect the request arrived in."""
+    if version >= 2:
+        return {"v": version, "req_id": req_id, "ok": True, "result": result}
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error_response(version: int, req_id: Any, exc: BaseException) -> dict[str, Any]:
+    """A failure frame in the dialect the request arrived in.
+
+    v2 uses the typed envelope (``code``/``message``/``retryable`` +
+    ``details``); v1 keeps its exact legacy error shape.
+    """
+    if version >= 2:
+        legacy = error_payload(exc)
+        details = {"type": legacy.pop("type")}
+        legacy.pop("message", None)
+        legacy.pop("retryable", None)
+        details.update(legacy)  # exception-specific extras
+        return {
+            "v": version,
+            "req_id": req_id,
+            "ok": False,
+            "error": {
+                "code": error_code(exc),
+                "message": str(exc),
+                "retryable": isinstance(exc, _RETRYABLE),
+                "details": details,
+            },
+        }
+    return {"id": req_id, "ok": False, "error": error_payload(exc)}
 
 
 def decode_response(line: bytes | str) -> dict[str, Any]:

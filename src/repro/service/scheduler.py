@@ -29,7 +29,9 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING
 
-from repro.utils.timing import TimeBudget, now
+from repro.obs.clock import now
+from repro.obs.metrics import metrics
+from repro.utils.timing import TimeBudget
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.session import ManagedSession
@@ -80,6 +82,10 @@ class IdleScheduler:
             self.donations += 1
             self.donated_seconds += idle_seconds
         donor.donated_idle_seconds += idle_seconds
+        metrics.counter(
+            "repro_idle_donated_seconds_total",
+            "GUI-latency idle seconds donated to the scheduler",
+        ).inc(idle_seconds)
 
         budget = TimeBudget(idle_seconds)
         # 1. Donor first: identical to plain DI when alone (caller already
@@ -110,6 +116,10 @@ class IdleScheduler:
                 with self._lock:
                     self.cross_session_seconds += spent
                     self.cross_session_edges += processed
+                metrics.counter(
+                    "repro_idle_cross_session_edges_total",
+                    "pooled edges processed with another session's idle time",
+                ).inc(processed)
             finally:
                 target.lock.release()
         return own_spent

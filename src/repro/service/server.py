@@ -27,6 +27,8 @@ import threading
 from typing import Any
 
 from repro.errors import ProtocolError, ReproError
+from repro.obs import clock
+from repro.obs.metrics import metrics
 from repro.service import protocol
 from repro.service.manager import SessionManager
 
@@ -116,28 +118,32 @@ class QueryServer:
 
     # -- dispatch --------------------------------------------------------
     def handle_line(self, line: bytes) -> dict[str, Any]:
-        """Decode one request line and produce the response payload."""
-        request_id: Any = None
+        """Decode one request line and produce the response payload.
+
+        The response speaks whatever protocol dialect the request arrived
+        in (v2 envelope, or the deprecated v1 shapes), and every request —
+        success or failure — lands in the per-verb service latency
+        histogram ``repro_service_request_seconds``.
+        """
+        started = clock.now()
+        op = "invalid"
+        request: dict[str, Any] | None = None
         try:
             request = protocol.decode_request(line)
-            request_id = request.get("id")
+            op = request["op"]
+            version = protocol.request_version(request)
+            req_id = protocol.request_id(request)
             result = self._dispatch(request)
-        except ReproError as exc:
-            if request_id is None:
-                request_id = protocol.best_effort_id(line)
-            return {
-                "id": request_id,
-                "ok": False,
-                "error": protocol.error_payload(exc),
-            }
-        except Exception as exc:  # engine bug: report, keep the server up
-            return {
-                "id": request_id,
-                "ok": False,
-                "error": protocol.error_payload(exc),
-            }
-        response: dict[str, Any] = {"id": request_id, "ok": True, "result": result}
-        if request.get("op") == "shutdown":
+        except Exception as exc:
+            # ReproError: typed service verdicts. Anything else: an engine
+            # bug — still reported, the server stays up.
+            if request is None:
+                req_id, version = protocol.best_effort_id(line)
+            self._observe(op, started, ok=False)
+            return protocol.error_response(version, req_id, exc)
+        self._observe(op, started, ok=True)
+        response = protocol.ok_response(version, req_id, result)
+        if op == "shutdown":
             response["_close"] = True
             # Ack first, then unwind the accept loop from another thread
             # (serve_forever cannot be stopped from a handler thread it
@@ -146,6 +152,20 @@ class QueryServer:
             threading.Thread(target=self._tcp.shutdown, daemon=True).start()
         return response
 
+    @staticmethod
+    def _observe(op: str, started: float, ok: bool) -> None:
+        metrics.counter(
+            "repro_service_requests_total",
+            "wire requests by verb and outcome",
+            op=op,
+            ok=str(ok).lower(),
+        ).inc()
+        metrics.histogram(
+            "repro_service_request_seconds",
+            "service-side latency per wire verb",
+            op=op,
+        ).observe(clock.now() - started)
+
     def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         op = request["op"]
         manager = self.manager
@@ -153,6 +173,7 @@ class QueryServer:
             return {
                 "pong": True,
                 "protocol": protocol.PROTOCOL_VERSION,
+                "supported_protocols": list(protocol.SUPPORTED_VERSIONS),
                 "graph": manager.base_ctx.graph.name,
             }
         if op == "create_session":
@@ -162,8 +183,13 @@ class QueryServer:
                 max_results=request.get("max_results"),
                 resilience=request.get("resilience"),
                 deadline_seconds=request.get("deadline_seconds"),
+                trace=request.get("trace"),
             )
             return {"session": session.id, "strategy": session.limits.strategy}
+        if op == "metrics":
+            if request.get("format") == "text":
+                return {"text": metrics.render_text()}
+            return {"metrics": metrics.snapshot()}
         if op == "stats":
             session_id = request.get("session")
             if session_id is None:
@@ -197,6 +223,10 @@ class QueryServer:
                 session_id, limit=int(limit) if limit is not None else None
             )
             return {"results": [protocol.subgraph_payload(s) for s in subgraphs]}
+        if op == "trace":
+            return manager.trace(
+                session_id, include_open=bool(request.get("include_open", True))
+            )
         if op == "close_session":
             manager.close_session(session_id)
             return {"closed": session_id}

@@ -28,6 +28,8 @@ from repro.core.blender import ActionReport, Boomer, RunResult
 from repro.core.context import EngineContext, EngineCounters
 from repro.errors import ActionError, SessionError
 from repro.gui.session import TimelineState
+from repro.obs import export as obs_export
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.resilience import ResilienceConfig
 
 __all__ = ["ManagedSession", "SessionLimits"]
@@ -41,6 +43,12 @@ class SessionLimits:
     pruning: bool = True
     max_results: int | None = 10_000
     resilience: ResilienceConfig | None = None
+    #: Record a per-session span timeline (the wire ``trace`` verb).
+    #: On by default: hosted sessions are exactly where operators need
+    #: the Fig.-7 decomposition, and the ring buffer bounds the cost.
+    trace: bool = True
+    #: Ring-buffer capacity for the session's closed spans.
+    trace_capacity: int = 8192
 
 
 class ManagedSession:
@@ -66,6 +74,14 @@ class ManagedSession:
         self.limits = limits or SessionLimits()
         #: Immutable engine parts shared process-wide; counters private.
         self.ctx = replace(base_ctx, counters=EngineCounters())
+        #: Span recorder (no-op when tracing is disabled for the session).
+        #: Writers always hold :attr:`lock`, which is the tracer's whole
+        #: thread-safety story — including cross-session idle donations.
+        self.tracer = (
+            Tracer(capacity=self.limits.trace_capacity)
+            if self.limits.trace
+            else NULL_TRACER
+        )
         self.boomer = Boomer(
             self.ctx,
             strategy=self.limits.strategy,
@@ -73,6 +89,7 @@ class ManagedSession:
             max_results=self.limits.max_results,
             auto_idle=False,
             resilience=self.limits.resilience,
+            tracer=self.tracer,
         )
         self.timeline = TimelineState()
         #: Plain (non-reentrant) lock on purpose: "is anyone operating on
@@ -177,7 +194,29 @@ class ManagedSession:
     def close(self) -> None:
         """Release the session's retained state."""
         self.state = "closed"
+        # Balance the trace even when the client walked away mid-
+        # formulation: whatever is still open closes here, so a trace
+        # pulled before teardown never shows orphaned spans.
+        self.tracer.finish()
         self.boomer.engine.pool.clear()
+
+    def trace_export(self, include_open: bool = True) -> dict[str, object]:
+        """The session's span timeline (wire ``trace`` verb payload).
+
+        Spans, their aggregate summary, and the Fig.-7 SRT decomposition
+        are all derived from the same records a caller receives, so
+        everything in the payload is reproducible client-side.
+        """
+        spans = self.tracer.export(include_open=include_open)
+        return {
+            "session": self.id,
+            "enabled": self.tracer.enabled,
+            "spans": spans,
+            "summary": obs_export.summarize(spans),
+            "decomposition": obs_export.srt_decomposition(spans),
+            "started": self.tracer.started,
+            "dropped": self.tracer.dropped,
+        }
 
     def _require_open(self) -> None:
         if self.state == "closed":
@@ -199,6 +238,12 @@ class ManagedSession:
             "serviced_edges": self.serviced_edges,
             "absorbed_failures": list(self.boomer.absorbed_failures),
             "counters": self.ctx.counters.snapshot(),
+            "trace": {
+                "enabled": self.tracer.enabled,
+                "spans_started": self.tracer.started,
+                "spans_dropped": self.tracer.dropped,
+                "open_depth": self.tracer.open_depth,
+            },
         }
         result = self.boomer.run_result
         if result is not None:

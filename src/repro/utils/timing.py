@@ -10,21 +10,36 @@ throughout the code base:
 * :class:`TimeBudget` — a countdown used by the Defer-to-Idle strategy's
   pool probing (Algorithm 10 in the paper) to stop draining the edge pool
   once the idle window is exhausted.
+
+Both read the process-wide clock in :mod:`repro.obs.clock` at call time —
+the same source span timestamps use — so stopwatch accumulators, deadline
+accounting, and trace timelines can never skew against each other.
+Monkeypatch ``repro.obs.clock.monotonic`` to move all of them together.
+The module-level :func:`now` is a deprecated alias of
+:func:`repro.obs.clock.now` kept for older call sites.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
+
+from repro.obs import clock
 
 
 def now() -> float:
-    """Return a monotonic timestamp in seconds.
+    """Deprecated alias of :func:`repro.obs.clock.now`.
 
-    Thin wrapper over :func:`time.perf_counter` so tests can monkeypatch a
-    single symbol to obtain deterministic timing.
+    .. deprecated::
+        Import ``now`` from :mod:`repro.obs.clock` instead; this wrapper
+        only survives for legacy call sites and will be removed.
     """
-    return time.perf_counter()
+    warnings.warn(
+        "repro.utils.timing.now() is deprecated; use repro.obs.clock.now()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return clock.now()
 
 
 @dataclass
@@ -46,13 +61,13 @@ class Stopwatch:
     def start(self) -> "Stopwatch":
         """Start (or resume) the stopwatch.  Idempotent while running."""
         if self._started_at is None:
-            self._started_at = now()
+            self._started_at = clock.now()
         return self
 
     def stop(self) -> float:
         """Stop the stopwatch and return total elapsed seconds."""
         if self._started_at is not None:
-            self.elapsed += now() - self._started_at
+            self.elapsed += clock.now() - self._started_at
             self._started_at = None
         return self.elapsed
 
@@ -70,7 +85,7 @@ class Stopwatch:
         """Return elapsed time including the current run, without stopping."""
         if self._started_at is None:
             return self.elapsed
-        return self.elapsed + (now() - self._started_at)
+        return self.elapsed + (clock.now() - self._started_at)
 
     def __enter__(self) -> "Stopwatch":
         self.start()
@@ -92,7 +107,7 @@ class TimeBudget:
 
     def __init__(self, seconds: float | None) -> None:
         self._limit = seconds
-        self._start = now()
+        self._start = clock.now()
 
     @property
     def limit(self) -> float | None:
@@ -103,7 +118,7 @@ class TimeBudget:
         """Seconds left; ``float('inf')`` when unlimited; never negative."""
         if self._limit is None:
             return float("inf")
-        left = self._limit - (now() - self._start)
+        left = self._limit - (clock.now() - self._start)
         return left if left > 0.0 else 0.0
 
     @property
