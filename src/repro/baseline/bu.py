@@ -105,16 +105,25 @@ class BoomerUnaware:
                 for qk in neighbors_of[q_next]
                 if qk in assignment
             ]
-            for v in candidates_of[q_next]:
-                if v in used:
-                    continue
-                ok = True
-                for qk, upper in matched_neighbors:
-                    if not self.ctx.within(assignment[qk], v, upper):
-                        ok = False
-                        break
-                if not ok:
-                    continue
+            # Batched constraint filtering: one distances_from call per
+            # matched query neighbor narrows the whole candidate list,
+            # instead of per-(candidate, neighbor) within() calls.  The
+            # surviving candidates — and hence the emitted matches — are
+            # identical to the scalar short-circuit loop, and so is the
+            # distance_queries total on completed runs: a candidate is in
+            # ``viable`` at neighbor k iff the scalar loop would have
+            # issued its k-th check.  (Only a mid-search timeout can make
+            # the totals differ, since the batch arm pays for a level's
+            # candidates up front.)
+            viable = [v for v in candidates_of[q_next] if v not in used]
+            for qk, upper in matched_neighbors:
+                if not viable:
+                    break
+                dists = self.ctx.distances_from(assignment[qk], viable)
+                viable = [
+                    v for v, d in zip(viable, dists) if 0 <= d <= upper
+                ]
+            for v in viable:
                 assignment[q_next] = v
                 used.add(v)
                 keep_going = extend(pos + 1)

@@ -86,14 +86,18 @@ class DistanceJoin:
             bound = self.global_upper if self.global_upper is not None else edge.upper
             forward: dict[int, set[int]] = {}
             count = 0
+            others = candidates[edge.v]
             for vi in candidates[edge.u]:
                 if deadline is not None and now() > deadline:
                     timed_out = True
                     break
+                # One batched distance vector per vi replaces the
+                # per-(vi, vj) within() loop; vi itself is excluded first,
+                # exactly like the scalar filter (and uncounted, as before).
+                probe = [vj for vj in others if vj != vi]
+                dists = self.ctx.distances_from(vi, probe) if probe else ()
                 targets = {
-                    vj
-                    for vj in candidates[edge.v]
-                    if vj != vi and self.ctx.within(vi, vj, bound)
+                    vj for vj, d in zip(probe, dists) if 0 <= d <= bound
                 }
                 if targets:
                     forward[vi] = targets

@@ -370,6 +370,14 @@ class Boomer:
         the span taxonomy in ``docs/OBSERVABILITY.md`` (a ``session``
         root tiled by ``phase.formulation``/``phase.run``, with per-action
         and per-edge children).  Defaults to the free no-op tracer.
+    batch_enabled:
+        When False, every batched distance query (AIVS materialization,
+        DetectPath pruning) is answered by the per-pair scalar loop
+        instead of the oracle's vectorized kernels — the A/B arm of
+        ``bench_distance_batch`` and the bit-identity tests.  Matches are
+        identical either way; only speed differs.  ``None`` (the default)
+        keeps whatever the context says, so a session harness can toggle
+        the flag once on its ``EngineContext``.
     """
 
     def __init__(
@@ -382,9 +390,13 @@ class Boomer:
         auto_idle: bool = True,
         resilience: ResilienceConfig | None = None,
         tracer: Tracer | NullTracer | None = None,
+        batch_enabled: bool | None = None,
     ) -> None:
         if isinstance(strategy, str):
             strategy = make_strategy(strategy)
+        if batch_enabled is not None and ctx.batch_enabled != batch_enabled:
+            # Same shared counters/oracle, only the dispatch flag differs.
+            ctx = replace(ctx, batch_enabled=batch_enabled)
         self.resilience = resilience
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.engine = BlenderEngine(

@@ -149,6 +149,24 @@ class CAPIndex:
         self._aivs[(qi, qj)][vi].add(vj)
         self._aivs[(qj, qi)][vj].add(vi)
 
+    def add_pairs(
+        self, qi: int, qj: int, pairs: Iterable[tuple[int, int]]
+    ) -> int:
+        """Bulk :meth:`add_pair` for a batched PVS; returns the pair count.
+
+        The forward/reverse maps are resolved once instead of per pair —
+        the difference matters when the large-upper search hands over the
+        whole edge's AIVS in one call.
+        """
+        forward = self._aivs[(qi, qj)]
+        reverse = self._aivs[(qj, qi)]
+        count = 0
+        for vi, vj in pairs:
+            forward[vi].add(vj)
+            reverse[vj].add(vi)
+            count += 1
+        return count
+
     def finish_edge(self, qi: int, qj: int) -> list[int]:
         """Mark edge processed and prune isolated candidates.
 

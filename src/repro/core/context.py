@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.cost import CostModel
 from repro.core.matcher import LabelEqualityMatcher, VertexMatcher
 from repro.graph.graph import Graph
+from repro.indexing import batch as _batch
 from repro.indexing.oracle import DistanceOracle
 
 __all__ = ["EngineContext", "EngineCounters"]
@@ -25,6 +26,13 @@ class EngineCounters:
     """Mutable instrumentation shared by the PVS searches and strategies."""
 
     distance_queries: int = 0
+    #: Interpreter-level oracle invocations.  A scalar query is 1; a batch
+    #: query through a native kernel is 1 per vectorized call regardless
+    #: of how many logical distances it answered; a batch query that fell
+    #: back to the per-pair shim counts every shim call.  The ratio
+    #: ``distance_queries / oracle_calls`` is the batching win the
+    #: ``bench_distance_batch`` benchmark gates on.
+    oracle_calls: int = 0
     out_scans: int = 0
     in_scans: int = 0
     pairs_added: int = 0
@@ -35,6 +43,7 @@ class EngineCounters:
     def reset(self) -> None:
         """Zero all counters."""
         self.distance_queries = 0
+        self.oracle_calls = 0
         self.out_scans = 0
         self.in_scans = 0
         self.pairs_added = 0
@@ -46,6 +55,7 @@ class EngineCounters:
         """Counters as a plain dict (for reports)."""
         return {
             "distance_queries": self.distance_queries,
+            "oracle_calls": self.oracle_calls,
             "out_scans": self.out_scans,
             "in_scans": self.in_scans,
             "pairs_added": self.pairs_added,
@@ -84,6 +94,11 @@ class EngineContext:
     #: Vertex-matching policy: label equality (BPH default, Def. 3.1) or a
     #: similarity matcher (full 1-1 p-hom semantics, Sec. 2).
     matcher: VertexMatcher = field(default_factory=LabelEqualityMatcher)
+    #: When False every batch query is answered by the per-pair scalar
+    #: loop instead of the oracle's native kernel — the A/B toggle the
+    #: bit-identity tests and ``bench_distance_batch`` flip (results must
+    #: not depend on it).
+    batch_enabled: bool = True
 
     def candidates_for(self, label: object) -> list[int]:
         """Candidate data vertices of a query vertex labeled ``label``."""
@@ -92,9 +107,55 @@ class EngineContext:
     def distance(self, u: int, v: int) -> int:
         """Counted oracle distance query."""
         self.counters.distance_queries += 1
+        self.counters.oracle_calls += 1
         return self.oracle.distance(u, v)
 
     def within(self, u: int, v: int, upper: int) -> bool:
         """Counted bounded-distance check."""
         self.counters.distance_queries += 1
+        self.counters.oracle_calls += 1
         return self.oracle.within(u, v, upper)
+
+    # -- batched queries (see repro.indexing.batch) --------------------
+    def _use_batch(self) -> bool:
+        return self.batch_enabled and _batch.supports_batch(self.oracle)
+
+    def distances_from(self, source: int, targets) -> np.ndarray:
+        """Counted batch distance query: ``dist(source, t)`` per target.
+
+        Counts one logical ``distance_queries`` per target either way;
+        ``oracle_calls`` records 1 for a native kernel call versus one
+        per target on the scalar fallback.
+        """
+        t = np.asarray(targets, dtype=np.int64)
+        self.counters.distance_queries += int(t.size)
+        if self._use_batch():
+            self.counters.oracle_calls += 1
+            return _batch.distances_from(self.oracle, source, t)
+        self.counters.oracle_calls += int(t.size)
+        return _batch.scalar_distances(self.oracle, source, t)
+
+    def within_many(
+        self, sources, targets, upper: int, skip_equal: bool = False
+    ) -> list[tuple[int, int]]:
+        """Counted batch bounded-distance check over ``sources × targets``.
+
+        Returns qualifying ``(u, v)`` pairs source-major, targets in the
+        given order — the exact emission order of the per-pair double
+        loop, so consumers are order-identical under either path.
+        ``skip_equal=True`` excludes (and does not count) the diagonal.
+        """
+        queries = len(sources) * len(targets)
+        if skip_equal:
+            target_set = {int(v) for v in targets}
+            queries -= sum(1 for u in sources if int(u) in target_set)
+        self.counters.distance_queries += queries
+        if self._use_batch():
+            self.counters.oracle_calls += len(sources)
+            return _batch.within_many(
+                self.oracle, sources, targets, upper, skip_equal
+            )
+        self.counters.oracle_calls += queries
+        return _batch.scalar_within_many(
+            self.oracle, sources, targets, upper, skip_equal
+        )

@@ -88,9 +88,18 @@ class EdgePool:
         return entry[1] if entry is not None else None
 
     def sync_query_bounds(self, query: BPHQuery) -> None:
-        """Refresh pooled edges from the query (after bound modifications)."""
+        """Refresh pooled edges from the query (after bound modifications).
+
+        A pooled key may no longer exist in the query — a modification can
+        delete an edge that was still deferred.  Such stale keys are
+        discarded (the pool must mirror the query, and asking the query
+        for a deleted edge would raise), never re-fetched.
+        """
         for key in list(self._edges):
-            self._edges[key] = query.edge_between(*key)
+            if query.has_edge(*key):
+                self._edges[key] = query.edge_between(*key)
+            else:
+                del self._edges[key]
 
     def edges(self) -> list[QueryEdge]:
         """Pooled edges (insertion order, copy)."""

@@ -25,8 +25,14 @@ from repro.core.context import EngineContext
 from repro.core.query import BPHQuery, QueryEdge
 from repro.graph.algorithms import region_around
 from repro.graph.graph import Graph
+from repro.obs.metrics import metrics
 
-__all__ = ["ResultSubgraph", "detect_path", "filter_by_lower_bound"]
+__all__ = [
+    "ResultSubgraph",
+    "PathSearchStats",
+    "detect_path",
+    "filter_by_lower_bound",
+]
 
 
 @dataclass
@@ -89,6 +95,21 @@ class ResultSubgraph:
         return out
 
 
+@dataclass
+class PathSearchStats:
+    """What one :func:`detect_path` search did — beyond its yes/no answer.
+
+    ``truncated`` distinguishes "no qualifying path exists" from "the
+    ``max_nodes`` safety valve fired before the search could prove
+    either" — a ``None`` result with ``truncated=True`` may have silently
+    dropped a valid match, which callers (and the
+    ``repro_detect_path_truncations_total`` metric) need to know.
+    """
+
+    expanded: int = 0
+    truncated: bool = False
+
+
 def detect_path(
     ctx: EngineContext,
     source: int,
@@ -96,13 +117,26 @@ def detect_path(
     lower: int,
     upper: int,
     max_nodes: int = 100_000,
+    stats: PathSearchStats | None = None,
 ) -> list[int] | None:
     """Find one simple path ``source -> target`` with length in [lower, upper].
 
     Returns the vertex list (including endpoints) or None when no such path
     exists.  ``max_nodes`` bounds the DFS expansion as a safety valve; the
     distance-guided pruning keeps real searches tiny (Exp 5 measures this).
+    Pass a :class:`PathSearchStats` to learn whether a ``None`` meant
+    "proved absent" or "gave up at the expansion budget" (``truncated``).
+
+    The per-node pruning distances are fetched with one batched
+    ``distances_from(target, unvisited_neighbors)`` call — distances are
+    symmetric on the undirected data graph — instead of one oracle call
+    per neighbor.
     """
+    if stats is None:
+        stats = PathSearchStats()
+    else:
+        stats.expanded = 0
+        stats.truncated = False
     if source == target:
         return None  # matching paths are non-empty and simple
     d0 = ctx.distance(source, target)
@@ -112,31 +146,33 @@ def detect_path(
     graph = ctx.graph
     path = [source]
     visited = {source}
-    expanded = 0
 
     def dfs(current: int, steps: int) -> bool:
-        nonlocal expanded
-        expanded += 1
-        if expanded > max_nodes:
+        stats.expanded += 1
+        if stats.expanded > max_nodes:
+            stats.truncated = True
             return False
         if current == target:
             return lower <= steps <= upper
         if steps >= upper:
             return False
         d_current = ctx.distance(current, target)
+        neighbors = [
+            w for w in (int(w) for w in graph.neighbors(current))
+            if w not in visited
+        ]
         progress: list[int] = []
         detour: list[int] = []
-        for w in graph.neighbors(current):
-            w = int(w)
-            if w in visited:
-                continue
-            d_w = ctx.distance(w, target)
-            if d_w < 0 or steps + 1 + d_w > upper:
-                continue  # cannot reach target within upper any more
-            if d_w == d_current - 1:
-                progress.append(w)
-            else:
-                detour.append(w)
+        if neighbors:
+            dists = ctx.distances_from(target, neighbors)
+            for w, d_w in zip(neighbors, dists):
+                d_w = int(d_w)
+                if d_w < 0 or steps + 1 + d_w > upper:
+                    continue  # cannot reach target within upper any more
+                if d_w == d_current - 1:
+                    progress.append(w)
+                else:
+                    detour.append(w)
         # Algorithm 14 lines 15-19: if finishing via shortest continuation
         # already satisfies lower, try progress first; else detour first.
         ordered = progress + detour if steps + d_current >= lower else detour + progress
@@ -167,18 +203,33 @@ def filter_by_lower_bound(
     under lower bounds and must not be shown).
     """
     result = ResultSubgraph(assignment=dict(assignment))
+    stats = PathSearchStats()
     for edge in query.edges():
         vi = assignment[edge.u]
         vj = assignment[edge.v]
-        path = _matching_path(ctx, edge, vi, vj)
+        path = _matching_path(ctx, edge, vi, vj, stats)
         if path is None:
+            if stats.truncated:
+                # The rejection is unproven: DetectPath ran out of budget,
+                # so this match *may* have been dropped wrongly.  Surface
+                # the distinction (a silent None here looks exactly like a
+                # legitimate lower-bound rejection).
+                metrics.counter(
+                    "repro_detect_path_truncations_total",
+                    "DetectPath searches that hit max_nodes before "
+                    "proving path absence (potentially dropped matches)",
+                ).inc()
             return None
         result.paths[edge.key] = path
     return result
 
 
 def _matching_path(
-    ctx: EngineContext, edge: QueryEdge, vi: int, vj: int
+    ctx: EngineContext,
+    edge: QueryEdge,
+    vi: int,
+    vj: int,
+    stats: PathSearchStats | None = None,
 ) -> list[int] | None:
     """One path for ``edge`` between the mapped endpoints."""
-    return detect_path(ctx, vi, vj, edge.lower, edge.upper)
+    return detect_path(ctx, vi, vj, edge.lower, edge.upper, stats=stats)

@@ -6,12 +6,24 @@ The BOOMER preprocessor builds a **Pruned Landmark Labeling** (PML) index
 over per-vertex label lists.  BOOMER is orthogonal to the specific oracle
 (paper, footnote 5), so the package also ships a plain-BFS oracle used for
 testing and for the PML-vs-BFS ablation bench.
+
+Beside the scalar ``distance``/``within`` contract, oracles may implement
+the batch contract (``distances_from``/``within_many``); the
+:mod:`repro.indexing.batch` module dispatches to it — with a per-pair
+fallback shim for scalar-only oracles — and hosts the process-wide
+distance-vector cache shared across service sessions.
 """
 
+from repro.indexing.batch import DistanceVectorCache, shared_distance_cache
 from repro.indexing.kneighborhood import KNeighborhoodIndex
 from repro.indexing.order import degree_order, random_order
 from repro.indexing.pml import PrunedLandmarkLabeling
-from repro.indexing.oracle import DistanceOracle, BFSOracle, CountingOracle
+from repro.indexing.oracle import (
+    BatchDistanceOracle,
+    BFSOracle,
+    CountingOracle,
+    DistanceOracle,
+)
 from repro.indexing.twohop import two_hop_counts, two_hop_neighbors
 
 __all__ = [
@@ -20,8 +32,11 @@ __all__ = [
     "random_order",
     "PrunedLandmarkLabeling",
     "DistanceOracle",
+    "BatchDistanceOracle",
     "BFSOracle",
     "CountingOracle",
+    "DistanceVectorCache",
+    "shared_distance_cache",
     "two_hop_counts",
     "two_hop_neighbors",
 ]

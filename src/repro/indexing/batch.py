@@ -1,0 +1,273 @@
+"""Batched distance kernels and the shared distance-vector cache.
+
+AIVS materialization (PVS / Algorithm 8) and the BU baseline are dominated
+by interpreter-level ``oracle.within(u, v, upper)`` loops over candidate
+pairs.  This module is the batch side of the oracle contract:
+
+* :func:`distances_from` / :func:`within_many` — dispatchers that route a
+  one-source-vs-many query to an oracle's native vectorized kernel
+  (:class:`~repro.indexing.pml.PrunedLandmarkLabeling` answers it with one
+  merge over CSR label arrays, :class:`~repro.indexing.oracle.BFSOracle`
+  with one cached BFS vector slice) and otherwise fall back to the
+  per-pair scalar loop.  The fallback is what keeps
+  :class:`~repro.indexing.oracle.CountingOracle` and the fault injectors
+  working unchanged: every logical query still reaches ``distance``/
+  ``within`` one call at a time, so counts and fault schedules are
+  preserved.
+* :class:`DistanceVectorCache` — a process-wide bounded LRU of full
+  distance vectors, shared across service sessions that query the same
+  oracle.  Entries are keyed by ``(id(oracle), source)`` and carry a
+  strong reference to the oracle that is identity-checked on every hit,
+  so a recycled ``id()`` can never serve another oracle's distances.
+  Hits/misses are exported through :mod:`repro.obs.metrics`
+  (``repro_distcache_hits_total`` / ``repro_distcache_misses_total``).
+
+Batch answers are bit-identical to the scalar path by construction: the
+kernels compute the same min-over-landmarks (or BFS) integers, and every
+consumer that batches preserves its scalar iteration order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.obs.metrics import metrics
+
+__all__ = [
+    "supports_batch",
+    "distances_from",
+    "within_many",
+    "scalar_distances",
+    "scalar_within_many",
+    "DistanceVectorCache",
+    "shared_distance_cache",
+]
+
+#: Below this many targets a full-vector cache fill costs more than it
+#: saves; the query goes straight to the oracle's native kernel.
+FULL_VECTOR_MIN_TARGETS = 32
+
+#: The cache detour computes dist(source, *) for ALL n vertices.  That is
+#: only close to free when the requested targets already cover a good
+#: fraction of the graph — for a narrow target set the full fill costs
+#: n/|targets| times the direct kernel, and a source that never repeats
+#: (the common case inside one Run) would pay it for nothing.  Require
+#: ``|targets| * FULL_VECTOR_MAX_OVERFILL >= n`` before detouring.
+FULL_VECTOR_MAX_OVERFILL = 4
+
+
+def supports_batch(oracle: object) -> bool:
+    """True iff ``oracle`` implements the native batch contract."""
+    return hasattr(oracle, "distances_from") and hasattr(oracle, "within_many")
+
+
+def _as_targets(targets: Sequence[int] | np.ndarray) -> np.ndarray:
+    return np.asarray(targets, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Dispatchers
+# ----------------------------------------------------------------------
+def distances_from(
+    oracle: object, source: int, targets: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """``dist(source, t)`` for every ``t`` in ``targets`` (int32, -1 = unreachable).
+
+    Uses the oracle's native vectorized kernel when it has one (routing
+    large target sets through :data:`shared_distance_cache` for oracles
+    that advertise ``cacheable_vectors``), else falls back to one scalar
+    ``distance`` call per target.
+    """
+    t = _as_targets(targets)
+    if not supports_batch(oracle):
+        return scalar_distances(oracle, source, t)
+    if (
+        t.size >= FULL_VECTOR_MIN_TARGETS
+        and getattr(oracle, "cacheable_vectors", False)
+    ):
+        graph = getattr(oracle, "graph", None)
+        if (
+            graph is not None
+            and t.size * FULL_VECTOR_MAX_OVERFILL >= graph.num_vertices
+        ):
+            vec = shared_distance_cache.lookup(oracle, source)
+            if vec is None:
+                vec = oracle.distances_from(
+                    source, np.arange(graph.num_vertices, dtype=np.int64)
+                )
+                shared_distance_cache.store(oracle, source, vec)
+            # The cached vector skipped the oracle's own target validation.
+            n = vec.shape[0]
+            bad = (t < 0) | (t >= n)
+            if bad.any():
+                from repro.errors import VertexNotFoundError
+
+                raise VertexNotFoundError(int(t[np.argmax(bad)]))
+            return vec[t]
+    return oracle.distances_from(source, t)
+
+
+def within_many(
+    oracle: object,
+    sources: Sequence[int],
+    targets: Sequence[int] | np.ndarray,
+    upper: int,
+    skip_equal: bool = False,
+) -> list[tuple[int, int]]:
+    """All ``(u, v)`` with ``0 <= dist(u, v) <= upper``, source-major.
+
+    Pairs are emitted in source order, each source's targets in target
+    order — the same order a per-pair double loop produces.  With
+    ``skip_equal=True`` diagonal pairs ``u == v`` are not evaluated (the
+    AIVS never uses them: the 1-1 mapping forbids a candidate matching
+    two query vertices).
+    """
+    t = _as_targets(targets)
+    if not supports_batch(oracle):
+        return scalar_within_many(oracle, sources, t, upper, skip_equal)
+    pairs: list[tuple[int, int]] = []
+    for u in sources:
+        u = int(u)
+        dists = distances_from(oracle, u, t)
+        ok = (dists >= 0) & (dists <= upper)
+        if skip_equal:
+            ok &= t != u
+        pairs.extend((u, int(v)) for v in t[ok])
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Per-pair fallback shim
+# ----------------------------------------------------------------------
+def scalar_distances(
+    oracle: object, source: int, targets: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """The per-pair shim: one ``oracle.distance`` call per target.
+
+    This is both the fallback for batch-incapable oracles (counting
+    wrappers, fault injectors) and the reference arm batch kernels are
+    verified against.
+    """
+    t = _as_targets(targets)
+    out = np.empty(t.size, dtype=np.int32)
+    for i, v in enumerate(t):
+        out[i] = oracle.distance(int(source), int(v))
+    return out
+
+
+def scalar_within_many(
+    oracle: object,
+    sources: Sequence[int],
+    targets: Sequence[int] | np.ndarray,
+    upper: int,
+    skip_equal: bool = False,
+) -> list[tuple[int, int]]:
+    """Per-pair ``within`` double loop, same emission order as the kernel."""
+    t = _as_targets(targets)
+    pairs: list[tuple[int, int]] = []
+    for u in sources:
+        u = int(u)
+        for v in t:
+            v = int(v)
+            if skip_equal and u == v:
+                continue
+            if oracle.within(u, v, upper):
+                pairs.append((u, v))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Shared full-vector cache
+# ----------------------------------------------------------------------
+class DistanceVectorCache:
+    """Bounded LRU of full single-source distance vectors.
+
+    One instance (:data:`shared_distance_cache`) is shared process-wide:
+    the service layer hosts many sessions over one PML oracle, and hot
+    sources (high-degree candidates re-probed across sessions) hit the
+    same vectors.  Thread-safe; eviction is least-recently-*used* (hits
+    refresh recency, unlike a FIFO).
+
+    Keys are ``(id(oracle), source)``.  Because ``id()`` values can be
+    recycled after an oracle is garbage collected, each entry stores a
+    strong reference to its oracle and a hit requires ``entry.oracle is
+    oracle`` — a stale entry for a dead oracle is evicted on sight.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        #: (id(oracle), source) -> (oracle, vector); dict order is LRU order.
+        self._entries: dict[tuple[int, int], tuple[object, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, oracle: object, source: int) -> np.ndarray | None:
+        """The cached full vector for ``(oracle, source)``, or None."""
+        key = (id(oracle), int(source))
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None and entry[0] is oracle:
+                self._entries[key] = entry  # re-insert: most recently used
+                self.hits += 1
+                hit = True
+            else:
+                # entry[0] is a different object: id() was recycled; the
+                # popped stale entry stays evicted.
+                self.misses += 1
+                hit = False
+        self._record(hit)
+        return entry[1] if hit else None
+
+    def store(self, oracle: object, source: int, vector: np.ndarray) -> None:
+        """Insert (or refresh) the full vector for ``(oracle, source)``."""
+        key = (id(oracle), int(source))
+        with self._lock:
+            self._entries.pop(key, None)
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = (oracle, vector)
+            size = len(self._entries)
+        metrics.gauge(
+            "repro_distcache_entries", "distance vectors currently cached"
+        ).set(size)
+
+    def clear(self) -> None:
+        """Drop every entry (tests / memory pressure)."""
+        with self._lock:
+            self._entries.clear()
+        metrics.gauge(
+            "repro_distcache_entries", "distance vectors currently cached"
+        ).set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def _record(hit: bool) -> None:
+        # Instruments are fetched per update (not cached) so a registry
+        # reset between runs cannot strand increments on forgotten series.
+        if hit:
+            metrics.counter(
+                "repro_distcache_hits_total", "shared distance-vector cache hits"
+            ).inc()
+        else:
+            metrics.counter(
+                "repro_distcache_misses_total", "shared distance-vector cache misses"
+            ).inc()
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceVectorCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: The process-wide cache shared by every session (see class docstring).
+shared_distance_cache = DistanceVectorCache()

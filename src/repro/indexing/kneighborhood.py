@@ -20,10 +20,10 @@ primitive:
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Hashable
 
 from repro.errors import IndexError_
+from repro.graph.algorithms import bfs_distances
 from repro.graph.graph import Graph
 
 __all__ = ["KNeighborhoodIndex"]
@@ -44,26 +44,26 @@ class KNeighborhoodIndex:
         self._build()
 
     def _build(self) -> None:
+        """Batched build: one cutoff BFS vector + label-bucket minima.
+
+        Per source, the per-label minimum is a vectorized reduction over
+        the label's vertex bucket instead of a Python frontier walk.
+        ``d > 0`` excludes both the source itself (distance 0 — SPath
+        signatures describe the *neighborhood*) and vertices unreachable
+        or beyond the cutoff (``-1``) — the exact semantics of the old
+        per-vertex BFS.
+        """
         graph = self.graph
-        offsets, neighbors = graph.raw_csr()
         k = self.k
+        buckets = list(graph._label_index.items())
         for source in range(graph.num_vertices):
+            dist = bfs_distances(graph, source, cutoff=k)
             signature: dict[Label, int] = {}
-            seen = {source}
-            frontier = deque([(source, 0)])
-            while frontier:
-                u, d = frontier.popleft()
-                if d >= k:
-                    continue
-                for idx in range(int(offsets[u]), int(offsets[u + 1])):
-                    w = int(neighbors[idx])
-                    if w in seen:
-                        continue
-                    seen.add(w)
-                    label = graph.label(w)
-                    if label not in signature:
-                        signature[label] = d + 1
-                    frontier.append((w, d + 1))
+            for label, verts in buckets:
+                d = dist[verts]
+                d = d[d > 0]
+                if d.size:
+                    signature[label] = int(d.min())
             self._signatures.append(signature)
 
     # ------------------------------------------------------------------

@@ -10,6 +10,17 @@ defines that protocol plus two implementations used beside PML:
 * :class:`CountingOracle` — a wrapper counting/delegating queries, used by
   experiments to report how many distance queries each strategy issues.
 
+Batch contract
+--------------
+Oracles may additionally implement :class:`BatchDistanceOracle` —
+``distances_from(source, targets)`` and ``within_many(sources, targets,
+upper)`` — answering one-source-vs-many queries in a single
+interpreter-level call.  PML and :class:`BFSOracle` do; consumers reach
+the methods through :mod:`repro.indexing.batch`, whose per-pair fallback
+shim keeps scalar-only oracles (:class:`CountingOracle`, the fault
+injectors) working unchanged.  Batch answers must be bit-identical to the
+equivalent loop of scalar calls, including validation errors.
+
 Thread safety
 -------------
 One oracle instance may back many concurrent sessions (the
@@ -32,11 +43,13 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.errors import VertexNotFoundError
 from repro.graph.algorithms import bfs_distances
 from repro.graph.graph import Graph
 
 __all__ = [
     "DistanceOracle",
+    "BatchDistanceOracle",
     "BFSOracle",
     "CountingOracle",
     "shared_bfs_oracle",
@@ -53,6 +66,26 @@ class DistanceOracle(Protocol):
 
     def within(self, u: int, v: int, upper: int) -> bool:
         """True iff ``0 <= dist(u, v) <= upper``."""
+        ...
+
+
+@runtime_checkable
+class BatchDistanceOracle(DistanceOracle, Protocol):
+    """A distance oracle with native one-source-vs-many kernels.
+
+    Implementations must be answer- and error-identical to the scalar
+    loop: same int32 distances (``-1`` unreachable), same
+    ``VertexNotFoundError`` for the first invalid id in iteration order,
+    and ``within_many`` emits pairs source-major with each source's
+    targets in the given target order.
+    """
+
+    def distances_from(self, source: int, targets) -> "np.ndarray":
+        """``dist(source, t)`` for every ``t`` (int32; -1 unreachable)."""
+        ...
+
+    def within_many(self, sources, targets, upper: int) -> list[tuple[int, int]]:
+        """All ``(u, v)`` pairs with ``0 <= dist(u, v) <= upper``."""
         ...
 
 
@@ -75,15 +108,24 @@ class BFSOracle:
         self._lock = threading.Lock()
         self.query_count = 0
 
+    @property
+    def graph(self) -> Graph:
+        """The underlying data graph."""
+        return self._graph
+
     def _vector(self, source: int) -> np.ndarray:
         with self._lock:
-            vec = self._cache.get(source)
+            vec = self._cache.pop(source, None)
+            if vec is not None:
+                # Re-insert at the end: a hit must refresh recency, or the
+                # "LRU" degenerates to FIFO and hot sources get evicted.
+                self._cache[source] = vec
         if vec is None:
             vec = bfs_distances(self._graph, source)
             with self._lock:
                 if source not in self._cache:
                     if len(self._cache) >= self._cache_size:
-                        # Drop the oldest entry (dict preserves insertion order).
+                        # Evict the least recently used (front of the dict).
                         self._cache.pop(next(iter(self._cache)))
                     self._cache[source] = vec
                 else:  # another thread raced us; keep its identical vector
@@ -91,6 +133,11 @@ class BFSOracle:
         return vec
 
     def distance(self, u: int, v: int) -> int:
+        # Validate both endpoints up front (like PML): a negative id would
+        # otherwise wrap the numpy indexing below and return a *wrong*
+        # distance instead of raising.
+        self._graph._check_vertex(u)
+        self._graph._check_vertex(v)
         with self._lock:
             self.query_count += 1
             # Run BFS from whichever endpoint is already cached, else from u.
@@ -98,13 +145,38 @@ class BFSOracle:
                 (v, u) if v in self._cache and u not in self._cache else (u, v)
             )
         if u == v:
-            self._graph._check_vertex(u)
             return 0
         return int(self._vector(source)[target])
 
     def within(self, u: int, v: int, upper: int) -> bool:
         d = self.distance(u, v)
         return 0 <= d <= upper
+
+    # -- batch contract (see repro.indexing.batch) ---------------------
+    def distances_from(self, source: int, targets) -> np.ndarray:
+        """One cached BFS vector sliced against the whole target set."""
+        self._graph._check_vertex(int(source))
+        t = np.asarray(targets, dtype=np.int64)
+        n = self._graph.num_vertices
+        bad = (t < 0) | (t >= n)
+        if bad.any():
+            raise VertexNotFoundError(int(t[np.argmax(bad)]))
+        with self._lock:
+            self.query_count += int(t.size)
+        if t.size == 0:
+            return np.empty(0, dtype=np.int32)
+        return self._vector(int(source))[t]
+
+    def within_many(self, sources, targets, upper: int) -> list[tuple[int, int]]:
+        """All qualifying pairs, source-major, targets in given order."""
+        t = np.asarray(targets, dtype=np.int64)
+        pairs: list[tuple[int, int]] = []
+        for u in sources:
+            u = int(u)
+            dists = self.distances_from(u, t)
+            ok = (dists >= 0) & (dists <= upper)
+            pairs.extend((u, int(v)) for v in t[ok])
+        return pairs
 
 
 class CountingOracle:

@@ -328,6 +328,11 @@ def record_run_counters(
         "repro_oracle_calls_total", "distance-oracle queries issued"
     ).inc(counters.get("distance_queries", 0))
     reg.counter(
+        "repro_oracle_python_calls_total",
+        "interpreter-level oracle invocations (a batched kernel call "
+        "answering many distances counts once)",
+    ).inc(counters.get("oracle_calls", 0))
+    reg.counter(
         "repro_cap_edges_processed_total", "query edges processed into the CAP"
     ).inc(counters.get("edges_processed", 0))
     reg.counter(

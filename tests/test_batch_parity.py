@@ -1,0 +1,124 @@
+"""Batch-on vs batch-off parity: identical matches, identical query counts.
+
+The batched distance kernels are a pure transport optimization — they must
+not change *anything* observable about a Run except wall-clock and the
+``oracle_calls`` counter.  These tests run every strategy (IC/DR/DI) and
+the BU baseline twice over the same preprocessed context, once with
+``batch_enabled=True`` and once with the per-pair scalar path, and demand
+byte-identical match lists (same matches, same enumeration order) and
+identical logical ``distance_queries`` totals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.bu import BoomerUnaware
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.preprocessor import make_context
+from tests.conftest import make_fig2_query
+
+
+def formulate_fig2(boomer: Boomer) -> Boomer:
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    boomer.apply(NewEdge(0, 1, 1, 1))
+    boomer.apply(NewVertex(2, "C"))
+    boomer.apply(NewEdge(1, 2, 1, 2))
+    boomer.apply(NewEdge(0, 2, 1, 3))
+    return boomer
+
+
+def ordered_matches(matches) -> list[tuple[tuple[int, int], ...]]:
+    """Match list with enumeration order preserved (not a set)."""
+    return [tuple(sorted(m.items())) for m in matches]
+
+
+@pytest.mark.parametrize("strategy", ["IC", "DR", "DI"])
+def test_strategy_matches_bit_identical(fig2_pre, strategy):
+    arms = {}
+    for batch in (True, False):
+        boomer = Boomer(
+            make_context(fig2_pre), strategy=strategy, batch_enabled=batch
+        )
+        formulate_fig2(boomer)
+        boomer.apply(Run())
+        result = boomer.run_result
+        arms[batch] = (
+            ordered_matches(result.matches.matches),
+            result.counters["distance_queries"],
+            result.counters["pairs_added"],
+        )
+    batch_matches, batch_queries, batch_pairs = arms[True]
+    scalar_matches, scalar_queries, scalar_pairs = arms[False]
+    assert batch_matches == scalar_matches  # same matches, same order
+    assert batch_queries == scalar_queries  # same logical query count
+    assert batch_pairs == scalar_pairs
+
+
+def test_bu_matches_bit_identical(fig2_pre):
+    from dataclasses import replace
+
+    query = make_fig2_query()
+    arms = {}
+    for batch in (True, False):
+        ctx = replace(make_context(fig2_pre), batch_enabled=batch)
+        result = BoomerUnaware(ctx).evaluate(query)
+        arms[batch] = (ordered_matches(result.matches), result.distance_queries)
+    assert arms[True][0] == arms[False][0]
+    assert arms[True][1] == arms[False][1]
+
+
+def make_two_label_pre(n_per_label: int = 12):
+    """A graph big enough that a [1,3] edge hits large_upper_search with
+    multi-element candidate sets on both sides (fig2 prunes to singletons,
+    where batch and scalar invocation counts coincide)."""
+    from repro.core.preprocessor import preprocess
+    from repro.graph.builder import GraphBuilder
+
+    builder = GraphBuilder("two-label")
+    builder.add_vertices(["A"] * n_per_label + ["B"] * n_per_label)
+    total = 2 * n_per_label
+    for v in range(total):
+        builder.add_edge(v, (v + 1) % total)  # ring: everything reachable
+    for v in range(0, total, 3):
+        builder.add_edge_if_absent(v, (v + 7) % total)  # chords
+    return preprocess(builder.build(), t_avg_samples=50)
+
+
+def formulate_ab(boomer: Boomer) -> Boomer:
+    boomer.apply(NewVertex(0, "A"))
+    boomer.apply(NewVertex(1, "B"))
+    boomer.apply(NewEdge(0, 1, 1, 3))  # upper >= 3 -> large_upper_search
+    return boomer
+
+
+def test_batch_reduces_interpreter_level_calls():
+    """The whole point: far fewer oracle invocations, same answers."""
+    pre = make_two_label_pre()
+    calls, matches = {}, {}
+    for batch in (True, False):
+        boomer = Boomer(make_context(pre), strategy="IC", batch_enabled=batch)
+        formulate_ab(boomer)
+        boomer.apply(Run())
+        counters = boomer.run_result.counters
+        calls[batch] = counters["oracle_calls"]
+        matches[batch] = ordered_matches(boomer.run_result.matches.matches)
+        assert counters["distance_queries"] > counters["oracle_calls"] or not batch
+    assert matches[True] == matches[False]
+    assert calls[True] < calls[False]
+
+
+def test_results_identical_after_lower_bound_filtering(fig2_pre):
+    """End-to-end: the displayed ResultSubgraphs agree across arms."""
+    outs = {}
+    for batch in (True, False):
+        boomer = Boomer(make_context(fig2_pre), batch_enabled=batch)
+        formulate_fig2(boomer)
+        boomer.apply(Run())
+        outs[batch] = [
+            (tuple(sorted(r.assignment.items())), dict(r.paths))
+            for r in boomer.results()
+        ]
+    assert outs[True] == outs[False]

@@ -27,6 +27,7 @@ class TestCounters:
         snap = counters.snapshot()
         assert set(snap) == {
             "distance_queries",
+            "oracle_calls",
             "out_scans",
             "in_scans",
             "pairs_added",

@@ -89,6 +89,31 @@ def test_sync_query_bounds():
     assert {e.key: e.upper for e in pool.edges()} == {(0, 1): 7, (1, 2): 5}
 
 
+def test_sync_query_bounds_discards_deleted_edges():
+    # Regression: a modification can delete a query edge while it is still
+    # deferred.  sync_query_bounds used to ask the query for every pooled
+    # key unconditionally, raising on the deleted one; it must instead
+    # drop the stale key and keep refreshing the survivors.
+    query, _, pool, e01, e12 = setup_pool()
+    pool.insert(e01)
+    pool.insert(e12)
+    query.set_bounds(0, 1, 2, 7)  # modify one edge...
+    query.remove_edge(1, 2)  # ...delete the other while both are pooled
+    pool.sync_query_bounds(query)
+    assert {e.key: e.upper for e in pool.edges()} == {(0, 1): 7}
+    assert not pool.contains(1, 2)
+
+
+def test_sync_query_bounds_all_edges_deleted():
+    query, _, pool, e01, e12 = setup_pool()
+    pool.insert(e01)
+    pool.insert(e12)
+    query.remove_edge(0, 1)
+    query.remove_edge(1, 2)
+    pool.sync_query_bounds(query)
+    assert len(pool) == 0
+
+
 def test_clear_and_iter():
     _, _, pool, e01, e12 = setup_pool()
     pool.insert(e01)

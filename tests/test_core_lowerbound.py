@@ -93,6 +93,87 @@ class TestDetectPath:
         assert detect_path(ctx, 0, 11, 3, 3, max_nodes=1) is None
 
 
+class TestTruncationReporting:
+    """Budget exhaustion is distinguishable from proven path absence."""
+
+    def test_truncated_flag_set_when_budget_fires(self):
+        from repro.core.lowerbound import PathSearchStats
+
+        graph = build_fig2_graph()
+        ctx = make_ctx(graph)
+        stats = PathSearchStats()
+        assert detect_path(ctx, 0, 11, 3, 3, max_nodes=1, stats=stats) is None
+        assert stats.truncated
+        assert stats.expanded > 0
+
+    def test_proven_absence_is_not_truncated(self):
+        from repro.core.lowerbound import PathSearchStats
+
+        graph = build_path_graph(4)
+        ctx = make_ctx(graph)
+        stats = PathSearchStats()
+        # The only simple 0->1 path has length 1 < lower: a full search
+        # proves absence without exhausting the budget.
+        assert detect_path(ctx, 0, 1, 2, 3, stats=stats) is None
+        assert not stats.truncated
+
+    def test_stats_reset_between_searches(self):
+        from repro.core.lowerbound import PathSearchStats
+
+        graph = build_fig2_graph()
+        ctx = make_ctx(graph)
+        stats = PathSearchStats()
+        detect_path(ctx, 0, 11, 3, 3, max_nodes=1, stats=stats)
+        assert stats.truncated
+        detect_path(ctx, 1, 4, 1, 1, stats=stats)  # adjacent, trivially found
+        assert not stats.truncated  # reused stats object was reset
+
+
+class TestFilterTruncationMetric:
+    def _truncation_count(self):
+        from repro.obs.metrics import metrics
+
+        return metrics.counter("repro_detect_path_truncations_total").value
+
+    def test_truncated_rejection_increments_counter(self, fig2_ctx, monkeypatch):
+        import repro.core.lowerbound as lb
+        from tests.conftest import make_fig2_query
+
+        original = lb.detect_path
+
+        def tiny_budget(ctx, source, target, lower, upper, max_nodes=100_000, stats=None):
+            return original(ctx, source, target, lower, upper, max_nodes=1, stats=stats)
+
+        monkeypatch.setattr(lb, "detect_path", tiny_budget)
+        before = self._truncation_count()
+        result = lb.filter_by_lower_bound(
+            {0: 1, 1: 4, 2: 11}, make_fig2_query(), fig2_ctx
+        )
+        assert result is None  # the (valid) match was dropped at the budget
+        assert self._truncation_count() == before + 1
+
+    def test_clean_accept_does_not_increment(self, fig2_ctx):
+        from tests.conftest import make_fig2_query
+
+        before = self._truncation_count()
+        result = filter_by_lower_bound(
+            {0: 1, 1: 4, 2: 11}, make_fig2_query(), fig2_ctx
+        )
+        assert result is not None
+        assert self._truncation_count() == before
+
+    def test_proven_rejection_does_not_increment(self, fig2_ctx):
+        query = BPHQuery()
+        query.add_vertex("A", vertex_id=0)
+        query.add_vertex("B", vertex_id=1)
+        query.add_edge(0, 1, 3, 3)
+        before = self._truncation_count()
+        # v1 (id 0) and v7 (id 6) are in different components: absence is
+        # proven immediately, well inside the default budget.
+        assert filter_by_lower_bound({0: 0, 1: 6}, query, fig2_ctx) is None
+        assert self._truncation_count() == before
+
+
 class TestFilterByLowerBound:
     def make_query(self, lower=1, upper=3):
         query = BPHQuery()

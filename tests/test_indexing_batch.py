@@ -1,0 +1,344 @@
+"""Oracle-conformance suite for the batched distance contract.
+
+Every oracle implementation — native batch kernels (PML CSR merge,
+BFSOracle vector slice) and the per-pair fallback shim that wraps
+batch-incapable oracles like :class:`CountingOracle` — must give
+
+* identical answers to the scalar ``distance``/``within`` path,
+* identical validation errors for bad vertex ids, and
+* batch results equal to a loop of scalar calls, in the same order.
+
+The hypothesis section fuzzes these invariants over random graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VertexNotFoundError
+from repro.graph.algorithms import bfs_distances
+from repro.graph.builder import GraphBuilder
+from repro.indexing.batch import (
+    FULL_VECTOR_MIN_TARGETS,
+    DistanceVectorCache,
+    distances_from,
+    scalar_distances,
+    scalar_within_many,
+    shared_distance_cache,
+    supports_batch,
+    within_many,
+)
+from repro.indexing.oracle import BatchDistanceOracle, BFSOracle, CountingOracle
+from repro.indexing.pml import PrunedLandmarkLabeling
+from tests.conftest import build_fig2_graph, build_path_graph
+
+
+def make_oracle(kind: str, graph):
+    if kind == "pml":
+        return PrunedLandmarkLabeling.build(graph)
+    if kind == "bfs":
+        return BFSOracle(graph)
+    if kind == "counting":
+        return CountingOracle(BFSOracle(graph))
+    raise ValueError(kind)
+
+
+ORACLE_KINDS = ["pml", "bfs", "counting"]
+
+
+@pytest.fixture(params=ORACLE_KINDS)
+def fig2_oracle(request):
+    return request.param, make_oracle(request.param, build_fig2_graph())
+
+
+class TestConformance:
+    """Batch == loop-of-scalar, for every oracle, on the fig2 graph."""
+
+    def test_native_batch_support(self):
+        g = build_path_graph(3)
+        assert supports_batch(PrunedLandmarkLabeling.build(g))
+        assert supports_batch(BFSOracle(g))
+        assert not supports_batch(CountingOracle(BFSOracle(g)))
+
+    def test_protocol_membership(self):
+        g = build_path_graph(3)
+        assert isinstance(PrunedLandmarkLabeling.build(g), BatchDistanceOracle)
+        assert isinstance(BFSOracle(g), BatchDistanceOracle)
+        assert not isinstance(CountingOracle(BFSOracle(g)), BatchDistanceOracle)
+
+    def test_distances_from_matches_scalar(self, fig2_oracle):
+        _, oracle = fig2_oracle
+        graph = build_fig2_graph()
+        targets = np.arange(graph.num_vertices)
+        for source in range(graph.num_vertices):
+            got = distances_from(oracle, source, targets)
+            truth = bfs_distances(graph, source)
+            np.testing.assert_array_equal(np.asarray(got), np.asarray(truth))
+
+    @pytest.mark.parametrize("upper", [0, 1, 2, 4])
+    @pytest.mark.parametrize("skip_equal", [False, True])
+    def test_within_many_matches_scalar(self, fig2_oracle, upper, skip_equal):
+        kind, oracle = fig2_oracle
+        graph = build_fig2_graph()
+        sources = list(range(0, graph.num_vertices, 2))
+        targets = list(range(graph.num_vertices))
+        reference = make_oracle(kind, graph)
+        expected = scalar_within_many(reference, sources, targets, upper, skip_equal)
+        got = within_many(oracle, sources, targets, upper, skip_equal=skip_equal)
+        assert got == expected  # same pairs, same source-major order
+
+    def test_empty_targets(self, fig2_oracle):
+        _, oracle = fig2_oracle
+        out = distances_from(oracle, 0, [])
+        assert np.asarray(out).size == 0
+
+    def test_invalid_source_raises(self, fig2_oracle):
+        _, oracle = fig2_oracle
+        for bad in (-1, 99):
+            with pytest.raises(VertexNotFoundError):
+                distances_from(oracle, bad, [0, 1])
+
+    def test_invalid_target_raises(self, fig2_oracle):
+        _, oracle = fig2_oracle
+        for bad in (-1, 99):
+            with pytest.raises(VertexNotFoundError):
+                distances_from(oracle, 0, [1, bad, 2])
+
+    def test_counting_shim_preserves_counts(self):
+        graph = build_fig2_graph()
+        oracle = CountingOracle(BFSOracle(graph))
+        distances_from(oracle, 0, [1, 2, 3])
+        assert oracle.query_count == 3  # one logical query per target
+        within_many(oracle, [0, 1], [2, 3], upper=4)
+        assert oracle.query_count == 3 + 4
+
+
+class TestPMLKernel:
+    """The dense-spread kernel and the small-target merge path agree."""
+
+    def test_small_target_merge_path(self):
+        # Below the crossover heuristic PML answers with per-target merges;
+        # both code paths must match BFS ground truth.
+        graph = build_fig2_graph()
+        pml = PrunedLandmarkLabeling.build(graph)
+        truth = bfs_distances(graph, 4)
+        few = pml.distances_from(4, [0, 11])
+        assert list(few) == [int(truth[0]), int(truth[11])]
+        many = pml.distances_from(4, np.arange(graph.num_vertices))
+        np.testing.assert_array_equal(np.asarray(many), np.asarray(truth))
+
+    def test_self_distance_zero(self):
+        pml = PrunedLandmarkLabeling.build(build_path_graph(5))
+        out = pml.distances_from(2, [0, 1, 2, 3, 4])
+        assert out[2] == 0
+
+    def test_unreachable_is_minus_one(self):
+        b = GraphBuilder()
+        b.add_vertices("abc")
+        b.add_edge(0, 1)
+        pml = PrunedLandmarkLabeling.build(b.build())
+        assert list(pml.distances_from(0, [0, 1, 2])) == [0, 1, -1]
+
+    def test_query_count_counts_targets(self):
+        pml = PrunedLandmarkLabeling.build(build_path_graph(4))
+        before = pml.query_count
+        pml.distances_from(0, [1, 2, 3])
+        assert pml.query_count == before + 3
+
+    def test_unpickled_instance_finalizes_lazily(self):
+        # Disk-cached indexes skip __init__ (pickle restores __dict__);
+        # the CSR arrays must be rebuilt on first batch query.
+        import pickle
+
+        graph = build_path_graph(6)
+        pml = PrunedLandmarkLabeling.build(graph)
+        clone = pickle.loads(pickle.dumps(pml))
+        for attr in ("_label_offsets", "_label_ranks_arr"):
+            clone.__dict__.pop(attr, None)  # simulate a pre-upgrade pickle
+        clone.__dict__.pop("_avg_label", None)
+        np.testing.assert_array_equal(
+            np.asarray(clone.distances_from(0, np.arange(6))),
+            np.asarray(bfs_distances(graph, 0)),
+        )
+
+
+class TestBFSOracleBatch:
+    def test_distances_from_slices_cached_vector(self):
+        graph = build_path_graph(8)
+        oracle = BFSOracle(graph)
+        out = oracle.distances_from(0, [7, 3, 0])
+        assert list(out) == [7, 3, 0]
+        assert len(oracle._cache) == 1  # one BFS vector serves all targets
+
+    def test_query_count_counts_targets(self):
+        oracle = BFSOracle(build_path_graph(5))
+        oracle.distances_from(0, [1, 2])
+        assert oracle.query_count == 2
+
+
+class TestBFSOracleLRU:
+    def test_eviction_is_least_recently_used(self):
+        g = build_path_graph(10)
+        oracle = BFSOracle(g, cache_size=2)
+        oracle.distance(0, 9)  # cache: [0]
+        oracle.distance(1, 9)  # cache: [0, 1]
+        oracle.distance(0, 5)  # hit refreshes 0 -> cache: [1, 0]
+        oracle.distance(2, 9)  # evicts 1 (least recently *used*), not 0
+        assert set(oracle._cache) == {0, 2}
+
+    def test_swapped_endpoint_hit_refreshes(self):
+        g = build_path_graph(10)
+        oracle = BFSOracle(g, cache_size=2)
+        oracle.distance(0, 9)
+        oracle.distance(1, 9)
+        oracle.distance(9, 0)  # routes through cached source 0 -> refresh
+        oracle.distance(2, 9)
+        assert set(oracle._cache) == {0, 2}
+
+
+class TestBFSOracleValidation:
+    """Both endpoints are validated before any counting or caching."""
+
+    @pytest.mark.parametrize("u,v", [(-1, 0), (0, -1), (99, 0), (0, 99), (-1, -1)])
+    def test_distance_rejects_bad_ids(self, u, v):
+        oracle = BFSOracle(build_path_graph(4))
+        with pytest.raises(VertexNotFoundError):
+            oracle.distance(u, v)
+        assert oracle.query_count == 0  # rejected queries are not counted
+
+    def test_negative_id_does_not_wrap(self):
+        # Pre-fix, -1 silently indexed the last entry of the BFS vector.
+        oracle = BFSOracle(build_path_graph(4))
+        oracle.distance(0, 3)
+        with pytest.raises(VertexNotFoundError):
+            oracle.distance(0, -1)
+
+    @pytest.mark.parametrize("kind", ORACLE_KINDS)
+    def test_scalar_and_batch_raise_the_same_error(self, kind):
+        graph = build_fig2_graph()
+        scalar_arm = make_oracle(kind, graph)
+        batch_arm = make_oracle(kind, graph)
+        with pytest.raises(VertexNotFoundError):
+            scalar_arm.distance(0, -3)
+        with pytest.raises(VertexNotFoundError):
+            distances_from(batch_arm, 0, [1, -3])
+
+
+class TestDistanceVectorCache:
+    def test_lru_eviction_order(self):
+        cache = DistanceVectorCache(max_entries=2)
+        o = object()
+        va, vb, vc = (np.arange(3),) * 3
+        cache.store(o, 0, va)
+        cache.store(o, 1, vb)
+        assert cache.lookup(o, 0) is not None  # refresh 0
+        cache.store(o, 2, vc)  # evicts 1
+        assert cache.lookup(o, 1) is None
+        assert cache.lookup(o, 0) is not None
+        assert cache.lookup(o, 2) is not None
+
+    def test_identity_check_rejects_recycled_id(self):
+        cache = DistanceVectorCache(max_entries=4)
+        o1 = object()
+        cache.store(o1, 0, np.arange(3))
+        # Simulate id() reuse: same key, different live object.
+        key = (id(o1), 0)
+        cache._entries[key] = (object(), np.arange(3))
+        assert cache.lookup(o1, 0) is None  # identity mismatch -> miss
+        assert len(cache) == 0  # stale entry evicted on sight
+
+    def test_hit_miss_counters_and_metrics(self):
+        from repro.obs.metrics import metrics
+
+        cache = DistanceVectorCache(max_entries=2)
+        o = object()
+        hits0 = metrics.counter("repro_distcache_hits_total").value
+        misses0 = metrics.counter("repro_distcache_misses_total").value
+        assert cache.lookup(o, 0) is None
+        cache.store(o, 0, np.arange(2))
+        assert cache.lookup(o, 0) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert metrics.counter("repro_distcache_hits_total").value == hits0 + 1
+        assert metrics.counter("repro_distcache_misses_total").value == misses0 + 1
+
+    def test_clear(self):
+        cache = DistanceVectorCache(max_entries=2)
+        cache.store(object(), 0, np.arange(2))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DistanceVectorCache(max_entries=0)
+
+    def test_shared_cache_serves_repeat_large_queries(self):
+        n = max(FULL_VECTOR_MIN_TARGETS * 2, 64)
+        graph = build_path_graph(n)
+        pml = PrunedLandmarkLabeling.build(graph)
+        shared_distance_cache.clear()
+        targets = np.arange(n)
+        hits0 = shared_distance_cache.hits
+        first = distances_from(pml, 0, targets)
+        second = distances_from(pml, 0, targets)
+        np.testing.assert_array_equal(first, second)
+        assert shared_distance_cache.hits == hits0 + 1
+
+    def test_cached_vector_path_still_validates_targets(self):
+        n = FULL_VECTOR_MIN_TARGETS + 8
+        graph = build_path_graph(n)
+        pml = PrunedLandmarkLabeling.build(graph)
+        shared_distance_cache.clear()
+        distances_from(pml, 0, np.arange(n))  # warm the full vector
+        bad = list(range(FULL_VECTOR_MIN_TARGETS)) + [-2]
+        with pytest.raises(VertexNotFoundError):
+            distances_from(pml, 0, bad)  # -2 must not wrap into the vector
+
+
+# ----------------------------------------------------------------------
+# Randomized conformance (hypothesis)
+# ----------------------------------------------------------------------
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=2 * n,
+        )
+    )
+    builder = GraphBuilder("hyp")
+    builder.add_vertices(["L"] * n)
+    for u, v in edges:
+        builder.add_edge_if_absent(u, v)
+    return builder.build()
+
+
+class TestRandomizedConformance:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=small_graphs(), source=st.integers(0, 9))
+    def test_all_oracles_agree_with_bfs_truth(self, graph, source):
+        source %= graph.num_vertices
+        truth = np.asarray(bfs_distances(graph, source))
+        targets = np.arange(graph.num_vertices)
+        for kind in ORACLE_KINDS:
+            oracle = make_oracle(kind, graph)
+            got = np.asarray(distances_from(oracle, source, targets))
+            np.testing.assert_array_equal(got, truth, err_msg=kind)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs(), upper=st.integers(0, 5), skip=st.booleans())
+    def test_within_many_equals_scalar_loop(self, graph, upper, skip):
+        sources = list(range(graph.num_vertices))
+        targets = list(range(graph.num_vertices))
+        reference = scalar_within_many(
+            BFSOracle(graph), sources, targets, upper, skip
+        )
+        for kind in ORACLE_KINDS:
+            oracle = make_oracle(kind, graph)
+            got = within_many(oracle, sources, targets, upper, skip_equal=skip)
+            assert got == reference, kind
