@@ -1,0 +1,153 @@
+"""The boomerlint engine: file walking, parsing, rule dispatch, reporting.
+
+The engine is deliberately *static*: it parses files with :mod:`ast` and
+never imports the code under analysis, so linting a broken tree cannot
+execute broken code.  Rules are scoped by **module key** — the path tail
+starting at the last ``repro`` component (``repro/service/manager.py``)
+— so fixtures in a temp directory exercise path-scoped rules simply by
+recreating the package layout underneath any root.
+
+A file that does not parse is reported as a ``PARSE`` violation rather
+than aborting the run: CI should list every problem of a tree in one
+pass, and a syntax error in one module must not hide rule hits in the
+other hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.registry import Rule, Violation, all_rules, get_rules
+from repro.analysis.suppress import Suppressions, parse_suppressions
+from repro.errors import LintUsageError
+
+__all__ = ["ModuleSource", "LintReport", "LintEngine", "module_key", "iter_python_files"]
+
+#: Rule id used for files the parser rejects (not suppressible per-line:
+#: a file that does not parse has no trustworthy line table).
+PARSE_RULE = "PARSE"
+
+
+def module_key(path: Path) -> str:
+    """The repro-rooted posix key of ``path`` (used for rule scoping).
+
+    ``/any/prefix/repro/service/manager.py`` -> ``repro/service/manager.py``;
+    a path with no ``repro`` component keys as its bare filename, which
+    matches no path-scoped rule — exactly right for loose fixture files.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path.name
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            seen.update(p for p in path.rglob("*.py"))
+        elif path.is_file():
+            seen.add(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module, as rules see it."""
+
+    path: Path
+    display: str  # path as given (what violations print)
+    key: str  # repro-rooted key (what scoping matches)
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run over a set of paths."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean (exit code 0)."""
+        return not self.violations
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (the CLI's ``--format json`` output)."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class LintEngine:
+    """Runs a rule set over source files and folds results into a report."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: list[Rule] = list(rules) if rules is not None else all_rules()
+
+    @classmethod
+    def for_rule_ids(cls, ids: Iterable[str]) -> "LintEngine":
+        """An engine restricted to the given rule ids (CLI ``--rules``)."""
+        return cls(rules=get_rules(ids))
+
+    # -- entry points ----------------------------------------------------
+    def lint_paths(self, paths: Iterable[Path]) -> LintReport:
+        """Lint every .py file under ``paths`` (files or directories)."""
+        report = LintReport()
+        for path in iter_python_files(paths):
+            self._lint_one(path, path.read_text(encoding="utf-8"), report)
+        return report
+
+    def lint_source(self, text: str, path: Path | str = "<string>") -> LintReport:
+        """Lint in-memory source (fixture tests, editor integrations)."""
+        report = LintReport()
+        self._lint_one(Path(path), text, report)
+        return report
+
+    # -- internals -------------------------------------------------------
+    def _lint_one(self, path: Path, text: str, report: LintReport) -> None:
+        report.files_checked += 1
+        display = str(path)
+        try:
+            tree = ast.parse(text, filename=display)
+        except SyntaxError as exc:
+            report.violations.append(
+                Violation(
+                    rule=PARSE_RULE,
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            return
+        module = ModuleSource(
+            path=path,
+            display=display,
+            key=module_key(path),
+            text=text,
+            tree=tree,
+            suppressions=parse_suppressions(text),
+        )
+        for rule in self.rules:
+            for violation in rule.check(module):
+                if module.suppressions.suppressed(violation.rule, violation.line):
+                    report.suppressed += 1
+                else:
+                    report.violations.append(violation)
+        report.violations.sort(key=lambda v: v.sort_key)

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro obs summarize --trace trace.json
     python -m repro obs tree --trace trace.json [--max-depth 3]
     python -m repro obs metrics --port 7474 [--format json]
+    python -m repro lint src/repro [--rules R1,R2] [--format json]
 
 ``serve`` hosts the multi-session query service (see docs/SERVICE.md): a
 JSON-lines-over-TCP protocol multiplexing many concurrent visual sessions
@@ -42,6 +43,12 @@ a ``--trace`` JSON file offline; ``metrics`` pulls the process-wide
 registry from a *running* ``repro serve`` instance over the wire
 (Prometheus-style text by default, ``--format json`` for the snapshot).
 
+``lint`` runs **boomerlint**, the codebase-aware static analyzer of
+:mod:`repro.analysis`: AST rules R1–R6 enforce this repo's determinism,
+error-taxonomy, oracle-contract, metrics/span-naming, public-API, and
+lock-discipline invariants (see docs/ANALYSIS.md).  Exits 0 when clean,
+1 with ``file:line:col: RULE message`` diagnostics otherwise.
+
 Exit codes are distinct so scripts can branch on the outcome::
 
     0  success (CAP path)
@@ -61,7 +68,7 @@ from repro.core.actions import Action, NewEdge, NewVertex, Run
 from repro.core.blender import Boomer
 from repro.core.preprocessor import make_context, preprocess
 from repro.core.ranking import RANKINGS, rank_results
-from repro.errors import DeadlineExceededError, ReproError
+from repro.errors import DeadlineExceededError, QueryFileError, ReproError
 from repro.faults import FaultPlan
 from repro.graph.generators import dblp_like, flickr_like, wordnet_like
 from repro.graph.io import load_edge_list, save_edge_list
@@ -105,7 +112,7 @@ def parse_query_file(path: str | Path) -> list[Action]:
                     vid = int(parts[1])
                     label = " ".join(parts[2:])
                     if not label:
-                        raise ValueError("vertex missing label")
+                        raise QueryFileError("vertex missing label")
                     actions.append(NewVertex(vid, label))
                     declared.add(vid)
                 elif parts[0] == "e":
@@ -113,14 +120,16 @@ def parse_query_file(path: str | Path) -> list[Action]:
                     lower = int(parts[3]) if len(parts) > 3 else 1
                     upper = int(parts[4]) if len(parts) > 4 else lower
                     if u not in declared or v not in declared:
-                        raise ValueError("edge references undeclared vertex")
+                        raise QueryFileError("edge references undeclared vertex")
                     actions.append(NewEdge(u, v, lower, upper))
                 else:
-                    raise ValueError(f"unknown record {parts[0]!r}")
+                    raise QueryFileError(f"unknown record {parts[0]!r}")
             except (ValueError, IndexError) as exc:
-                raise ReproError(f"{path}:{lineno}: {exc}") from exc
+                # int() raises bare ValueError and short lines IndexError;
+                # both re-wrap so callers see one typed error with location.
+                raise QueryFileError(f"{path}:{lineno}: {exc}") from exc
     if not actions:
-        raise ReproError(f"{path}: empty query file")
+        raise QueryFileError(f"{path}: empty query file")
     actions.append(Run())
     return actions
 
@@ -394,6 +403,37 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import LintEngine, rule_ids
+
+    if args.list_rules:
+        for rule in LintEngine().rules:
+            print(f"{rule.id}  {rule.title}")
+        return EXIT_OK
+    if args.rules:
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        engine = LintEngine.for_rule_ids(wanted)
+    else:
+        engine = LintEngine()
+    report = engine.lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for violation in report.violations:
+            print(violation.format())
+        summary = (
+            f"{len(report.violations)} violation(s) in "
+            f"{report.files_checked} file(s)"
+            f" ({report.suppressed} suppressed)"
+        )
+        print(summary if report.violations or report.suppressed else
+              f"clean: {report.files_checked} file(s), "
+              f"rules {', '.join(rule_ids())}", file=sys.stderr)
+    return EXIT_OK if report.ok else EXIT_ERROR
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -500,6 +540,23 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument(
         "--format", choices=("text", "json"), default="text"
     )
+
+    lint = sub.add_parser(
+        "lint", help="run boomerlint invariant checks over Python sources"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -20,12 +20,14 @@ __all__ = [
     "QueryVertexNotFoundError",
     "QueryEdgeNotFoundError",
     "BoundsError",
+    "QueryFileError",
     "IndexError_",
     "IndexNotBuiltError",
     "CAPError",
     "CAPStateError",
     "SessionError",
     "ActionError",
+    "LatencyConfigError",
     "DatasetError",
     "ExperimentError",
     "ResilienceError",
@@ -38,11 +40,21 @@ __all__ = [
     "SessionEvictedError",
     "AdmissionError",
     "ProtocolError",
+    "AnalysisError",
+    "LintUsageError",
+    "LockOrderViolationError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the :mod:`repro` library."""
+    """Base class for every error raised by the :mod:`repro` library.
+
+    Every class carries a stable machine-readable ``code`` (what the v2
+    wire protocol and scripts switch on); subclasses override it, the
+    base matches the protocol's generic ``engine_error``.
+    """
+
+    code: str = "engine_error"
 
 
 # --------------------------------------------------------------------------
@@ -115,6 +127,18 @@ class BoundsError(QueryError, ValueError):
     """Raised for malformed ``[lower, upper]`` path-length bounds."""
 
 
+class QueryFileError(QueryError, ValueError):
+    """Raised when a textual query file cannot be parsed.
+
+    Subclasses :class:`ValueError` so legacy callers that caught the
+    untyped parse errors keep working; the stable ``code`` lets scripts
+    and the wire protocol distinguish a malformed query file from other
+    query failures.
+    """
+
+    code = "query_file_invalid"
+
+
 # --------------------------------------------------------------------------
 # Indexes (PML, CAP)
 # --------------------------------------------------------------------------
@@ -151,6 +175,17 @@ class SessionError(ReproError):
 
 class ActionError(SessionError):
     """Raised for malformed or out-of-order GUI actions."""
+
+
+class LatencyConfigError(SessionError, ValueError):
+    """Raised for invalid GUI latency-model parameters.
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that validated latency configuration generically; the stable
+    ``code`` identifies the failure domain.
+    """
+
+    code = "latency_config_invalid"
 
 
 # --------------------------------------------------------------------------
@@ -260,6 +295,38 @@ class AdmissionError(ServiceError):
 
 class ProtocolError(ServiceError, ValueError):
     """Raised for malformed wire requests (bad JSON, unknown op, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Static analysis / invariant checking (see repro.analysis)
+# --------------------------------------------------------------------------
+class AnalysisError(ReproError):
+    """Base class for failures of the :mod:`repro.analysis` machinery."""
+
+    code = "analysis_error"
+
+
+class LintUsageError(AnalysisError, ValueError):
+    """Raised for invalid lint-engine configuration (unknown rule ids,
+    missing paths) — not for violations, which are data, not errors."""
+
+    code = "lint_usage_invalid"
+
+
+class LockOrderViolationError(AnalysisError):
+    """Raised by the lock-order race detector when the acquisition graph
+    recorded at runtime contains a cycle (a lock-order inversion).
+
+    ``inversions`` holds the detector's
+    :class:`~repro.analysis.lockorder.Inversion` records — each names the
+    allocation sites forming the cycle and the thread that closed it.
+    """
+
+    code = "lock_order_inversion"
+
+    def __init__(self, message: str, inversions: list | None = None) -> None:
+        super().__init__(message)
+        self.inversions = list(inversions or [])
 
 
 # --------------------------------------------------------------------------

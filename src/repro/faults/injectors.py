@@ -1,8 +1,10 @@
 """Deterministic fault injectors for the oracle, GUI latency, and CAP store.
 
-Every injector draws from its own seeded :class:`random.Random`, so a
-given :class:`~repro.faults.FaultPlan` produces the *same* fault schedule
-on every run — failures are reproducible test inputs, not flakes.
+Every injector draws from its own seeded generator (via
+:func:`repro.utils.rng.seeded_rng` — boomerlint rule R1 keeps raw
+``random`` out of this module), so a given :class:`~repro.faults.FaultPlan`
+produces the *same* fault schedule on every run — failures are
+reproducible test inputs, not flakes.
 
 :class:`InjectedFaultError` deliberately derives from :class:`RuntimeError`
 and **not** from :class:`~repro.errors.ReproError`: an injected fault
@@ -14,7 +16,6 @@ Library-logic errors (``ReproError``) are never retried.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 
@@ -22,6 +23,7 @@ from repro.core.cap import CAPIndex
 from repro.faults.plan import CAPCorruptionSpec, GUIFaultSpec, OracleFaultSpec
 from repro.gui.latency import LatencyModel
 from repro.indexing.oracle import DistanceOracle
+from repro.utils.rng import seeded_rng
 
 __all__ = [
     "InjectedFaultError",
@@ -57,10 +59,15 @@ class FaultyOracle:
       mode too, and it is what deadlines exist for.
     """
 
+    #: Scalar-only on purpose (R3): batch dispatch must reach the fault
+    #: schedule one ``distance``/``within`` call at a time, or injected
+    #: failures would stop lining up with the scalar replay.
+    batch_via_shim = True
+
     def __init__(self, inner: DistanceOracle, spec: OracleFaultSpec, seed: int = 0) -> None:
         self.inner = inner
         self.spec = spec
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self.calls = 0
         self.faults_injected = 0
         self.spikes_injected = 0
@@ -117,7 +124,7 @@ class FaultyLatencyModel:
     def __init__(self, inner: LatencyModel, spec: GUIFaultSpec, seed: int = 0) -> None:
         self.inner = inner
         self.spec = spec
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self.drops_injected = 0
         self.spikes_injected = 0
 
@@ -187,7 +194,7 @@ class CAPCorruptor:
 
     def __init__(self, spec: CAPCorruptionSpec, seed: int = 0) -> None:
         self.spec = spec
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
 
     def corrupt(self, cap: CAPIndex) -> CorruptionReport:
         """Damage ``cap`` in place; returns what was done (for assertions)."""

@@ -21,6 +21,7 @@ import math
 
 from repro.core.actions import Action, DeleteEdge, ModifyBounds, NewEdge, NewVertex, Run
 from repro.core.cost import GUILatencyConstants
+from repro.errors import LatencyConfigError
 from repro.utils.rng import seeded_rng
 
 __all__ = ["LatencyModel"]
@@ -49,9 +50,9 @@ class LatencyModel:
         seed: int = 0,
     ) -> None:
         if jitter < 0:
-            raise ValueError("jitter must be >= 0")
+            raise LatencyConfigError("jitter must be >= 0")
         if speed <= 0:
-            raise ValueError("speed must be > 0")
+            raise LatencyConfigError("speed must be > 0")
         self.constants = constants or GUILatencyConstants()
         self.jitter = jitter
         self.speed = speed

@@ -187,6 +187,10 @@ class CountingOracle:
     (``+=`` on an int is not atomic across bytecode boundaries).
     """
 
+    #: Scalar-only on purpose (R3): batch dispatch must fall back to the
+    #: per-pair shim so every logical query still increments the counter.
+    batch_via_shim = True
+
     def __init__(self, inner: DistanceOracle) -> None:
         self._inner = inner
         self._lock = threading.Lock()

@@ -30,6 +30,7 @@ __all__ = [
     "CAP_ADD_LEVEL",
     "CAP_PROCESS_EDGE",
     "POOL_PROBE",
+    "POOL_DRAIN",
     "RUN_DRAIN",
     "RUN_VERIFY_CAP",
     "RUN_ENUMERATE",
@@ -49,6 +50,10 @@ ACTION_PREFIX = "action."
 CAP_ADD_LEVEL = "cap.add_level"
 CAP_PROCESS_EDGE = "cap.process_edge"
 POOL_PROBE = "pool.probe"
+#: Formulation-phase pool drain (IC catch-up); the Run-phase counterpart
+#: is RUN_DRAIN.  Was emitted by the engine but missing from the taxonomy
+#: until boomerlint R4 flagged the drift.
+POOL_DRAIN = "pool.drain"
 RUN_DRAIN = "run.drain"
 RUN_VERIFY_CAP = "run.verify_cap"
 RUN_ENUMERATE = "run.enumerate"

@@ -24,7 +24,6 @@ event:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -32,6 +31,7 @@ from repro.core.cap import CAPIndex
 from repro.core.context import EngineContext
 from repro.core.query import BPHQuery, canonical_edge
 from repro.errors import CAPCorruptionError, CAPStateError
+from repro.utils.rng import seeded_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.blender import BlenderEngine
@@ -116,7 +116,7 @@ class CAPInvariantChecker:
         report: CAPAuditReport,
     ) -> None:
         """Sampled oracle validation: AIVS pairs must satisfy the upper bound."""
-        rng = random.Random(self.seed)
+        rng = seeded_rng(self.seed)
         for qi, qj in sorted(cap.processed_edges()):
             if not query.has_edge(qi, qj):
                 continue  # already flagged structurally

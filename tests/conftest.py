@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import os
 
 import pytest
 
@@ -154,6 +155,27 @@ def make_fig2_query() -> BPHQuery:
     query.add_edge(1, 2, 1, 2)
     query.add_edge(0, 2, 1, 3)
     return query
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_monitor():
+    """Opt-in lockdep pass: ``REPRO_LOCK_MONITOR=1 pytest ...``.
+
+    Every ``threading.Lock``/``RLock`` created during the test is replaced
+    by an instrumented shim (see :mod:`repro.analysis.lockorder`); the
+    teardown assertion turns any lock-order inversion observed anywhere in
+    the test into a failure — CI runs the service concurrency suite under
+    this to prove the shared-oracle scheduling stays deadlock-free.
+    """
+    if os.environ.get("REPRO_LOCK_MONITOR") != "1":
+        yield None
+        return
+    from repro.analysis.lockorder import LockOrderMonitor, patch_locks
+
+    monitor = LockOrderMonitor()
+    with patch_locks(monitor):
+        yield monitor
+    monitor.assert_clean()
 
 
 @pytest.fixture(scope="session")

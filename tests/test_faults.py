@@ -122,6 +122,35 @@ class TestFaultyOracle:
         assert run(5) == run(5)
         assert run(5) != run(6)  # and the seed actually matters
 
+    def test_schedule_isolated_from_global_rng(self, pre):
+        """R1 regression: injectors must not touch the ambient ``random``.
+
+        Re-seeding (or draining) the process-global generator between runs
+        must leave the fault schedule byte-identical — the injectors draw
+        only from their own ``seeded_rng`` instance.
+        """
+        import random as global_random
+
+        spec = OracleFaultSpec(transient_rate=0.4)
+        inner = make_context(pre).oracle
+
+        def run():
+            oracle = FaultyOracle(inner, spec, seed=11)
+            out = []
+            for _ in range(40):
+                try:
+                    oracle.distance(0, 1)
+                    out.append(True)
+                except InjectedFaultError:
+                    out.append(False)
+            return out
+
+        global_random.seed(1)
+        first = run()
+        global_random.seed(999)
+        global_random.random()  # perturb ambient state between runs
+        assert run() == first
+
 
 class TestFaultyLatencyModel:
     def test_drop_and_spike_are_seeded(self):
