@@ -8,6 +8,8 @@ Subcommands::
         [--strategy DI] [--limit 10] [--rank compactness] [--dot out.dot]
     python -m repro serve --graph graph.txt [--port 7474] \
         [--max-sessions 64] [--cap-budget 1000000]
+    python -m repro soak --dataset dblp [--sessions 20] [--chaos] \
+        [--out BENCH_soak.json]
     python -m repro obs summarize --trace trace.json
     python -m repro obs tree --trace trace.json [--max-depth 3]
     python -m repro obs metrics --port 7474 [--format json]
@@ -18,6 +20,14 @@ JSON-lines-over-TCP protocol multiplexing many concurrent visual sessions
 over one shared graph + PML oracle.  It prints ``serving on HOST:PORT``
 once ready (``--port 0`` picks a free port) and exits cleanly on SIGINT
 or a client ``shutdown`` op.
+
+``soak`` stands up that same service with *deliberately tight* budgets,
+floods it with a seeded heavy-tailed traffic schedule
+(:mod:`repro.workload.traffic`) — optionally under a chaos
+:class:`repro.faults.FaultPlan` — then drains, restores checkpointed
+sessions, and gates the run on an SLO (:mod:`repro.soak`).  Exits 0 on
+pass, 1 on any SLO violation; ``--out BENCH_soak.json`` archives the
+full report.
 
 The query file mirrors the visual formulation stream, one action per line
 (``#`` comments allowed)::
@@ -355,6 +365,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.overload import OverloadPolicy
+    from repro.soak import SLO, run_soak
+    from repro.workload import SoakWorkloadConfig
+
+    if args.graph:
+        graph = load_edge_list(args.graph)
+        print(f"loaded {graph}", file=sys.stderr)
+        pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
+        base_ctx = make_context(pre)
+    else:
+        from repro.datasets.registry import get_dataset
+
+        bundle = get_dataset(args.dataset, args.scale)
+        base_ctx = bundle.make_context()
+
+    if args.fault_plan:
+        plan = FaultPlan.from_json(args.fault_plan)
+    elif args.chaos:
+        # Default chaos mix: transient oracle faults and GUI latency
+        # turbulence, seeded from the workload seed so one --seed pins
+        # the entire experiment.
+        from repro.faults import GUIFaultSpec, OracleFaultSpec
+
+        plan = FaultPlan(
+            seed=args.seed,
+            oracle=OracleFaultSpec(transient_rate=0.02, transient_burst=2),
+            gui=GUIFaultSpec(drop_rate=0.05, spike_rate=0.05),
+        )
+    else:
+        plan = None
+
+    workload = SoakWorkloadConfig(
+        seed=args.seed,
+        sessions=args.sessions,
+        mean_interarrival_seconds=args.mean_interarrival,
+        modify_rate=args.modify_rate,
+        abandon_rate=args.abandon_rate,
+        postures=tuple(args.postures.split(",")),
+    )
+    overload = OverloadPolicy(
+        session_watermark=args.session_watermark,
+        cap_watermark=args.cap_watermark,
+        max_inflight=args.max_inflight,
+    )
+    report = run_soak(
+        base_ctx,
+        workload,
+        fault_plan=plan,
+        slo=SLO(max_memory_growth_mib=args.max_memory_growth),
+        overload=overload,
+        max_sessions=args.max_sessions,
+        cap_entry_budget=args.cap_budget,
+        time_scale=args.time_scale,
+        lock_monitor=not args.no_lock_monitor,
+    )
+    payload = report.to_dict()
+    payload["workload"] = {
+        "seed": workload.seed,
+        "sessions": workload.sessions,
+        "postures": list(workload.postures),
+    }
+    payload["fault_plan"] = plan.to_dict() if plan else None
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    verdict = "PASS" if report.passed else "FAIL"
+    print(
+        f"soak {verdict}: {report.runs_completed} runs, "
+        f"{report.requests_shed} shed, {report.sessions_restored} restored, "
+        f"{report.leaked_sessions} leaked, "
+        f"p95={report.run_latency.get('p95', 0.0):.3f}s",
+        file=sys.stderr,
+    )
+    for violation in report.violations:
+        print(f"SLO violation: {violation}", file=sys.stderr)
+    return EXIT_OK if report.passed else EXIT_ERROR
+
+
 def _load_trace_file(path: str) -> list[dict]:
     """Span records from a ``--trace`` dump (envelope dict or bare list)."""
     import json
@@ -517,6 +611,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-session Run-phase budget",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos-soak a live service against an SLO (see docs/SERVICE.md)",
+    )
+    soak_source = soak.add_mutually_exclusive_group(required=True)
+    soak_source.add_argument("--graph", default=None, help="edge-list graph file")
+    soak_source.add_argument(
+        "--dataset", choices=sorted(_GENERATORS), default=None,
+        help="soak a registry dataset instead of a graph file",
+    )
+    soak.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    soak.add_argument("--t-avg-samples", type=int, default=5000)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--sessions", type=int, default=20)
+    soak.add_argument(
+        "--mean-interarrival", type=float, default=0.5, metavar="SECONDS",
+        help="mean Pareto interarrival gap in virtual seconds",
+    )
+    soak.add_argument("--modify-rate", type=float, default=0.3)
+    soak.add_argument("--abandon-rate", type=float, default=0.1)
+    soak.add_argument(
+        "--postures", default="default,strict",
+        help="comma-separated resilience postures to rotate through",
+    )
+    soak.add_argument(
+        "--max-sessions", type=int, default=8,
+        help="deliberately tight session budget so backpressure fires",
+    )
+    soak.add_argument("--cap-budget", type=int, default=100_000)
+    soak.add_argument("--session-watermark", type=float, default=0.75)
+    soak.add_argument("--cap-watermark", type=float, default=0.85)
+    soak.add_argument("--max-inflight", type=int, default=32)
+    soak.add_argument(
+        "--time-scale", type=float, default=0.02,
+        help="wall seconds per virtual second of think/arrival time",
+    )
+    soak.add_argument(
+        "--chaos", action="store_true",
+        help="enable the default seeded fault plan (oracle + GUI faults)",
+    )
+    soak.add_argument(
+        "--fault-plan", default=None, metavar="FILE|JSON",
+        help="explicit FaultPlan (overrides --chaos)",
+    )
+    soak.add_argument(
+        "--no-lock-monitor", action="store_true",
+        help="skip lock-order monitoring (slightly faster)",
+    )
+    soak.add_argument(
+        "--max-memory-growth", type=float, default=256.0, metavar="MIB",
+    )
+    soak.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report JSON here (e.g. BENCH_soak.json)",
+    )
+    soak.set_defaults(func=_cmd_soak)
 
     obs = sub.add_parser(
         "obs", help="inspect observability artifacts (traces, metrics)"

@@ -39,6 +39,10 @@ __all__ = [
     "SessionNotFoundError",
     "SessionEvictedError",
     "AdmissionError",
+    "OverloadConfigError",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
+    "CheckpointError",
     "ProtocolError",
     "AnalysisError",
     "LintUsageError",
@@ -291,6 +295,79 @@ class AdmissionError(ServiceError):
     and the budget is exhausted, creation is refused rather than letting
     one tenant push the process into swap.
     """
+
+
+class OverloadConfigError(ServiceError, ValueError):
+    """Raised for an invalid :class:`repro.service.OverloadPolicy`.
+
+    Watermarks must lie in ``(0, 1]`` and hints/depths must be
+    non-negative; a policy that cannot be enforced is refused at
+    construction, not discovered mid-shed.
+    """
+
+    code = "overload_config"
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when backpressure sheds work instead of admitting it.
+
+    Distinct from :class:`AdmissionError` (a hard refusal: the budget is
+    exhausted and nothing will free it) — overload shedding is *transient*
+    by construction: the service is past a configured watermark (open
+    sessions, CAP-entry usage, in-flight requests) or draining for
+    shutdown, and the condition clears as in-flight work completes.  The
+    ``retry_after_ms`` hint tells well-behaved clients how long to back
+    off before retrying; :class:`repro.service.client.ServiceClient`
+    honors it through its :class:`~repro.resilience.RetryPolicy`.
+    """
+
+    code = "overloaded"
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "overload",
+        retry_after_ms: int = 50,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_ms = int(retry_after_ms)
+
+
+class ServiceTimeoutError(ServiceError, TimeoutError):
+    """Raised client-side when a service read/write exceeds its socket
+    timeout.
+
+    A hung or partitioned server must surface as a *typed, retryable*
+    error instead of blocking the client forever; the bound comes from
+    the :class:`~repro.service.client.ServiceClient` socket timeout.
+    ``retryable`` mirrors the wire protocol's error-envelope hint so the
+    client retry path treats local timeouts like remote shedding.
+    """
+
+    code = "service_timeout"
+    retryable = True
+
+    def __init__(self, operation: str, timeout_seconds: float | None) -> None:
+        bound = (
+            f" after {timeout_seconds:.1f}s" if timeout_seconds is not None else ""
+        )
+        super().__init__(f"service {operation!r} timed out{bound}")
+        self.operation = operation
+        self.timeout_seconds = timeout_seconds
+
+
+class CheckpointError(ServiceError):
+    """Raised when a session checkpoint cannot be captured or restored.
+
+    Covers malformed serialized checkpoints (unknown fields, wrong
+    format version) and restore-time contract violations (restoring over
+    a live session id, replaying a checkpoint whose actions no longer
+    apply).
+    """
+
+    code = "checkpoint_invalid"
 
 
 class ProtocolError(ServiceError, ValueError):

@@ -19,6 +19,14 @@ PML oracle.  This package is that layer:
 * :class:`QueryServer` / :class:`ServiceClient` — a JSON-lines-over-TCP
   wire protocol (``python -m repro serve``) exposing create-session /
   action / run / results / stats.
+* :class:`OverloadPolicy` — watermark backpressure: past configurable
+  session/CAP/queue-depth watermarks the manager *sheds* work with the
+  typed, retryable ``overloaded`` verdict (+ ``retry_after_ms`` hint)
+  instead of queueing into collapse.
+* :class:`SessionCheckpoint` / :class:`CheckpointStore` — eviction and
+  drain capture the session (action log + virtual timeline + limits) so
+  it resumes by id with byte-identical subsequent matches; CAP entries
+  are rebuilt warm by the scheduler (deferral neutrality).
 
 Layering: ``service`` sits *above* ``gui``/``core`` — it imports them,
 never the reverse.  Everything below the manager is unchanged BOOMER; the
@@ -26,8 +34,10 @@ deferral-neutrality invariant is what makes cross-session scheduling safe
 (moving CAP work between idle windows can never change ``V_Δ``).
 """
 
+from repro.service.checkpoint import CheckpointStore, SessionCheckpoint
 from repro.service.client import ServiceClient
 from repro.service.manager import ManagerStats, SessionManager
+from repro.service.overload import OverloadPolicy
 from repro.service.protocol import PROTOCOL_VERSION, canonical_matches
 from repro.service.scheduler import IdleScheduler
 from repro.service.server import QueryServer
@@ -41,6 +51,9 @@ __all__ = [
     "ManagerStats",
     "QueryServer",
     "ServiceClient",
+    "OverloadPolicy",
+    "SessionCheckpoint",
+    "CheckpointStore",
     "PROTOCOL_VERSION",
     "canonical_matches",
 ]

@@ -1,0 +1,357 @@
+"""Session checkpoint/restore: eviction as graceful degradation.
+
+Before this module, LRU eviction was data loss: the evicted session's
+query graph, virtual timeline, and CAP progress vanished, and the client
+got :class:`~repro.errors.SessionEvictedError` — "recreate and replay
+yourself".  A checkpoint captures everything needed to *resume the
+session by id*:
+
+* the **action log** (recording-format dicts, :mod:`repro.gui.recording`)
+  — the formulation itself;
+* the **virtual timeline** (:class:`~repro.gui.session.TimelineState`
+  scalars) — arrival/busy horizon/QFT accounting;
+* the **limits** — strategy, pruning, result cap, trace knobs, and the
+  resilience posture (scalar fields; exception-type tuples are rebuilt
+  from policy defaults);
+* the session's service-side **accounting** (actions applied, donated /
+  serviced idle seconds).
+
+What is deliberately *not* captured: the CAP index.  Replaying the action
+log with ``auto_idle=False`` re-pools every query edge, and the
+**deferral-neutrality invariant** (Theorem: moving CAP work between idle
+windows never changes ``V_Δ``) guarantees the restored session's Run
+produces byte-identical matches to the uninterrupted original — the CAP
+entries are rebuilt warm afterwards by the
+:class:`~repro.service.scheduler.IdleScheduler` on other sessions' idle
+donations, exactly like any cold session.  Checkpoints are therefore
+small (a formulation is a handful of actions), JSON-portable, and cheap
+enough to take on every eviction and drain.
+
+Restore replays **outside any manager lock** (engine compute never runs
+under service bookkeeping locks — lint rule R6) and re-registers the
+session with the scheduler under its original id.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.actions import Run
+from repro.errors import CheckpointError
+from repro.gui.recording import action_from_dict, action_to_dict
+from repro.resilience import ResilienceConfig, RetryPolicy
+from repro.service.session import ManagedSession, SessionLimits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import EngineContext
+
+__all__ = [
+    "SessionCheckpoint",
+    "CheckpointStore",
+    "checkpoint_session",
+    "restore_session",
+]
+
+#: Bump when the checkpoint dict layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+#: Session states a checkpoint can capture.  ``failed`` is terminal by
+#: contract (the engine refuses further work) and ``closed`` has already
+#: dropped its state, so neither can round-trip.
+_CHECKPOINTABLE_STATES = ("formulating", "ran")
+
+
+# --------------------------------------------------------------------------
+# Limits / resilience serialization
+# --------------------------------------------------------------------------
+def _retry_to_dict(policy: RetryPolicy) -> dict[str, object]:
+    return {
+        "max_attempts": policy.max_attempts,
+        "base_delay": policy.base_delay,
+        "backoff": policy.backoff,
+        "max_delay": policy.max_delay,
+    }
+
+
+def _retry_from_dict(payload: dict[str, object]) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=int(payload["max_attempts"]),
+        base_delay=float(payload["base_delay"]),
+        backoff=float(payload["backoff"]),
+        max_delay=float(payload["max_delay"]),
+    )
+
+
+def _resilience_to_dict(config: ResilienceConfig | None) -> dict | None:
+    if config is None:
+        return None
+    return {
+        "retry": _retry_to_dict(config.retry),
+        "deadline_seconds": config.deadline_seconds,
+        "degrade_to_bu": config.degrade_to_bu,
+        "verify_cap_on_run": config.verify_cap_on_run,
+        "audit_sample_pairs": config.audit_sample_pairs,
+        "absorb_action_failures": config.absorb_action_failures,
+    }
+
+
+def _resilience_from_dict(payload: dict | None) -> ResilienceConfig | None:
+    if payload is None:
+        return None
+    deadline = payload["deadline_seconds"]
+    return ResilienceConfig(
+        retry=_retry_from_dict(payload["retry"]),
+        deadline_seconds=None if deadline is None else float(deadline),
+        degrade_to_bu=bool(payload["degrade_to_bu"]),
+        verify_cap_on_run=bool(payload["verify_cap_on_run"]),
+        audit_sample_pairs=int(payload["audit_sample_pairs"]),
+        absorb_action_failures=bool(payload["absorb_action_failures"]),
+    )
+
+
+def _limits_to_dict(limits: SessionLimits) -> dict[str, object]:
+    return {
+        "strategy": limits.strategy,
+        "pruning": limits.pruning,
+        "max_results": limits.max_results,
+        "resilience": _resilience_to_dict(limits.resilience),
+        "trace": limits.trace,
+        "trace_capacity": limits.trace_capacity,
+    }
+
+
+def _limits_from_dict(payload: dict[str, object]) -> SessionLimits:
+    max_results = payload["max_results"]
+    return SessionLimits(
+        strategy=str(payload["strategy"]),
+        pruning=bool(payload["pruning"]),
+        max_results=None if max_results is None else int(max_results),
+        resilience=_resilience_from_dict(payload["resilience"]),
+        trace=bool(payload["trace"]),
+        trace_capacity=int(payload["trace_capacity"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# The checkpoint record
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """Everything needed to resume one hosted session by id."""
+
+    session_id: str
+    state: str  # "formulating" | "ran"
+    reason: str  # why it was checkpointed ("CAP budget", "drain", ...)
+    limits: dict = field(default_factory=dict)
+    #: Recording-format action dicts, in application order; Run excluded
+    #: (``state == "ran"`` records that Run happened).
+    actions: tuple = ()
+    #: TimelineState scalars: arrival, busy_until, formulation_busy,
+    #: simulated_qft.
+    timeline: dict = field(default_factory=dict)
+    #: Service-side accounting carried across the gap.
+    actions_applied: int = 0
+    backlog_seconds: float = 0.0
+    donated_idle_seconds: float = 0.0
+    serviced_seconds: float = 0.0
+    serviced_edges: int = 0
+
+    # -- JSON round-trip -------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        out = asdict(self)
+        out["actions"] = list(self.actions)
+        out["format"] = CHECKPOINT_FORMAT
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "SessionCheckpoint":
+        if not isinstance(payload, dict):
+            raise CheckpointError("checkpoint payload must be a JSON object")
+        version = payload.get("format")
+        if version != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"unsupported checkpoint format {version!r} "
+                f"(expected {CHECKPOINT_FORMAT})"
+            )
+        try:
+            return cls(
+                session_id=str(payload["session_id"]),
+                state=str(payload["state"]),
+                reason=str(payload["reason"]),
+                limits=dict(payload["limits"]),
+                actions=tuple(payload["actions"]),
+                timeline=dict(payload["timeline"]),
+                actions_applied=int(payload["actions_applied"]),
+                backlog_seconds=float(payload["backlog_seconds"]),
+                donated_idle_seconds=float(payload["donated_idle_seconds"]),
+                serviced_seconds=float(payload["serviced_seconds"]),
+                serviced_edges=int(payload["serviced_edges"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionCheckpoint":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+# --------------------------------------------------------------------------
+# Capture / restore
+# --------------------------------------------------------------------------
+def checkpoint_session(session: ManagedSession, reason: str) -> SessionCheckpoint:
+    """Capture ``session`` into a checkpoint (caller holds its lock).
+
+    Raises :class:`~repro.errors.CheckpointError` for terminal states —
+    a ``failed`` engine refuses further work and a ``closed`` session has
+    already dropped its state, so neither can resume.
+    """
+    if session.state not in _CHECKPOINTABLE_STATES:
+        raise CheckpointError(
+            f"session {session.id!r} is {session.state}; only "
+            f"{'/'.join(_CHECKPOINTABLE_STATES)} sessions can checkpoint"
+        )
+    timeline = session.timeline
+    return SessionCheckpoint(
+        session_id=session.id,
+        state=session.state,
+        reason=reason,
+        limits=_limits_to_dict(session.limits),
+        actions=tuple(action_to_dict(a) for a in session.action_log),
+        timeline={
+            "arrival": timeline.arrival,
+            "busy_until": timeline.busy_until,
+            "formulation_busy": timeline.formulation_busy,
+            "simulated_qft": timeline.simulated_qft,
+        },
+        actions_applied=session.actions_applied,
+        backlog_seconds=session.backlog_seconds,
+        donated_idle_seconds=session.donated_idle_seconds,
+        serviced_seconds=session.serviced_seconds,
+        serviced_edges=session.serviced_edges,
+    )
+
+
+def restore_session(
+    checkpoint: SessionCheckpoint, base_ctx: "EngineContext"
+) -> ManagedSession:
+    """Rebuild a live :class:`ManagedSession` from ``checkpoint``.
+
+    Replays the action log directly through the session's fresh engine
+    (no idle probing: every query edge lands back in the Defer-to-Idle
+    pool, to be rebuilt warm by the scheduler), then reinstates the
+    virtual timeline and accounting scalars, and — for a ``ran``
+    checkpoint — re-executes the Run click.  Deferral neutrality makes
+    the resumed session's matches byte-identical to the uninterrupted
+    original.
+
+    Call **without** holding any manager lock: replay is engine compute.
+    """
+    limits = _limits_from_dict(checkpoint.limits)
+    session = ManagedSession(checkpoint.session_id, base_ctx, limits)
+    try:
+        actions = [action_from_dict(item) for item in checkpoint.actions]
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint for {checkpoint.session_id!r} holds an unreadable "
+            f"action log: {exc}"
+        ) from exc
+    try:
+        for action in actions:
+            session.boomer.apply(action)
+            session.action_log.append(action)
+    except Exception as exc:
+        raise CheckpointError(
+            f"cannot replay checkpoint for {checkpoint.session_id!r}: {exc}"
+        ) from exc
+    # Reinstate the hybrid clock exactly where the original left it; the
+    # replay above deliberately did not advance it (resume must not
+    # re-charge think time or compute that already happened).
+    session.timeline.arrival = float(checkpoint.timeline["arrival"])
+    session.timeline.busy_until = float(checkpoint.timeline["busy_until"])
+    session.timeline.formulation_busy = float(
+        checkpoint.timeline["formulation_busy"]
+    )
+    session.timeline.simulated_qft = float(checkpoint.timeline["simulated_qft"])
+    session.actions_applied = checkpoint.actions_applied
+    session.donated_idle_seconds = checkpoint.donated_idle_seconds
+    session.serviced_seconds = checkpoint.serviced_seconds
+    session.serviced_edges = checkpoint.serviced_edges
+    session.restored = True
+    if checkpoint.state == "ran":
+        session.backlog_seconds = checkpoint.backlog_seconds
+        try:
+            session.boomer.apply(Run())
+        except Exception as exc:
+            raise CheckpointError(
+                f"cannot re-execute Run for {checkpoint.session_id!r}: {exc}"
+            ) from exc
+        session.state = "ran"
+    return session
+
+
+# --------------------------------------------------------------------------
+# The store
+# --------------------------------------------------------------------------
+class CheckpointStore:
+    """Bounded, thread-safe holding pen for evicted/drained sessions.
+
+    Insertion order doubles as age; past ``capacity`` the oldest
+    checkpoint is dropped (and counted), mirroring the manager's bounded
+    evicted-id memory — a session evicted long ago eventually becomes
+    unrestorable, and the client falls back to recreate-and-replay.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise CheckpointError("checkpoint store capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._checkpoints: OrderedDict[str, SessionCheckpoint] = OrderedDict()
+        self.stored_total = 0
+        self.dropped_total = 0
+
+    def put(self, checkpoint: SessionCheckpoint) -> None:
+        with self._lock:
+            self._checkpoints.pop(checkpoint.session_id, None)
+            self._checkpoints[checkpoint.session_id] = checkpoint
+            self.stored_total += 1
+            while len(self._checkpoints) > self.capacity:
+                self._checkpoints.popitem(last=False)
+                self.dropped_total += 1
+
+    def pop(self, session_id: str) -> SessionCheckpoint | None:
+        """Remove and return the checkpoint for ``session_id`` (or None)."""
+        with self._lock:
+            return self._checkpoints.pop(session_id, None)
+
+    def get(self, session_id: str) -> SessionCheckpoint | None:
+        with self._lock:
+            return self._checkpoints.get(session_id)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._checkpoints)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._checkpoints)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "held": len(self._checkpoints),
+                "capacity": self.capacity,
+                "stored_total": self.stored_total,
+                "dropped_total": self.dropped_total,
+            }

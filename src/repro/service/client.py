@@ -14,7 +14,21 @@ job, the concurrency tests, and ``benchmarks/bench_service_throughput``.
 Server-side failures surface as :class:`RemoteServiceError` carrying the
 stable v2 error code (``error.code``), the original exception class name
 (``error.remote_type``), and whether the server considers the condition
-retryable (eviction, admission refusals).
+retryable (eviction, admission refusals, overload sheds).
+
+Resilience knobs (both optional, both off by default so existing callers
+see exactly the old behavior):
+
+* ``retry_policy`` — a :class:`~repro.resilience.RetryPolicy`; retryable
+  server verdicts (``overloaded``, ``admission_refused``) are retried
+  under it, honoring the server's ``retry_after_ms`` back-off hint.
+  Transport timeouts are *not* silently retried — after a timeout the
+  byte stream is undefined (a late response would misalign correlation
+  ids), so they surface as the typed, retryable
+  :class:`~repro.errors.ServiceTimeoutError` and the caller reconnects.
+* ``auto_restore`` — on a ``session_evicted`` verdict whose checkpoint
+  is still held server-side (``details.restorable``), issue
+  ``restore_session`` and retry the original request transparently.
 
 The client speaks protocol v2 (``v``/``req_id`` envelope) but understands
 v1-shaped error payloads too, so it can talk to a pre-envelope server.
@@ -23,13 +37,35 @@ v1-shaped error payloads too, so it can talk to a pre-envelope server.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any
 
 from repro.core.actions import Action
-from repro.errors import ServiceError
+from repro.errors import (
+    RetryExhaustedError,
+    ServiceError,
+    ServiceTimeoutError,
+)
+from repro.resilience import RetryPolicy
 from repro.service import protocol
 
 __all__ = ["ServiceClient", "RemoteServiceError"]
+
+
+class _TransientServiceFailure(Exception):
+    """Internal retry carrier.
+
+    :class:`~repro.resilience.RetryPolicy` never retries
+    :class:`~repro.errors.ReproError` (library-logic failures repeat
+    deterministically) — but a remote ``overloaded`` verdict is the one
+    ReproError that is transient *by contract*.  Wrapping it in a plain
+    Exception lets the unmodified policy retry it; the loop unwraps the
+    typed error again before it ever reaches the caller.
+    """
+
+    def __init__(self, error: ServiceError) -> None:
+        super().__init__(str(error))
+        self.error = error
 
 
 class RemoteServiceError(ServiceError):
@@ -54,14 +90,77 @@ class RemoteServiceError(ServiceError):
 class ServiceClient:
     """One connection to a :class:`~repro.service.server.QueryServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
+        auto_restore: bool = False,
+    ) -> None:
+        self.timeout = timeout
+        self.retry_policy = retry_policy
+        self.auto_restore = auto_restore
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self._dirty = False  # stream undefined after a timeout
 
     # -- plumbing --------------------------------------------------------
     def request(self, op: str, **params: Any) -> dict[str, Any]:
-        """Send one v2 request, wait for its response, return ``result``."""
+        """Send one v2 request, wait for its response, return ``result``.
+
+        Without a ``retry_policy`` this is one round-trip, exactly the
+        pre-backpressure behavior.  With one, retryable verdicts are
+        retried under the policy (sleeping the server's ``retry_after_ms``
+        hint first); on exhaustion the *typed* last error is raised, not
+        the policy's wrapper, so callers always switch on stable codes.
+        """
+        if self.retry_policy is None:
+            try:
+                return self._attempt(op, params)
+            except _TransientServiceFailure as exc:
+                raise exc.error from exc.error.__cause__
+        try:
+            return self.retry_policy.call(
+                self._attempt,
+                op,
+                params,
+                on_retry=self._sleep_server_hint,
+                label=f"service op {op!r}",
+            )
+        except RetryExhaustedError as exc:
+            if isinstance(exc.last_error, _TransientServiceFailure):
+                raise exc.last_error.error from exc
+            raise
+
+    def _attempt(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        """One request round-trip, with retryable verdicts wrapped."""
+        try:
+            return self._request_once(op, params)
+        except RemoteServiceError as exc:
+            if exc.code == "session_evicted":
+                session = params.get("session")
+                if (
+                    self.auto_restore
+                    and op != "restore_session"
+                    and isinstance(session, str)
+                    and self._details(exc).get("restorable")
+                ):
+                    # Resume the evicted session by id, then let the
+                    # policy re-issue the original request against it.
+                    self._request_once("restore_session", {"session": session})
+                    raise _TransientServiceFailure(exc) from exc
+                raise
+            if exc.retryable:
+                raise _TransientServiceFailure(exc) from exc
+            raise
+
+    def _request_once(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        if self._dirty:
+            raise ServiceError(
+                "connection state undefined after a timeout; reconnect"
+            )
         self._next_id += 1
         payload = {
             "v": protocol.PROTOCOL_VERSION,
@@ -69,9 +168,13 @@ class ServiceClient:
             "op": op,
             **params,
         }
-        self._file.write(protocol.encode_line(payload))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(protocol.encode_line(payload))
+            self._file.flush()
+            line = self._file.readline()
+        except TimeoutError as exc:  # socket.timeout: hung/partitioned peer
+            self._dirty = True
+            raise ServiceTimeoutError(op, self.timeout) from exc
         if not line:
             raise ServiceError("server closed the connection mid-request")
         response = protocol.decode_response(line)
@@ -85,6 +188,20 @@ class ServiceClient:
             raise RemoteServiceError(response.get("error") or {})
         result = response.get("result")
         return result if isinstance(result, dict) else {}
+
+    @staticmethod
+    def _details(exc: "RemoteServiceError") -> dict[str, Any]:
+        """Exception extras in either dialect (v2 ``details`` or v1 flat)."""
+        details = exc.payload.get("details")
+        return details if isinstance(details, dict) else exc.payload
+
+    def _sleep_server_hint(self, attempt: int, exc: BaseException) -> None:
+        """Honor the server's ``retry_after_ms`` before the policy backoff."""
+        error = getattr(exc, "error", exc)
+        if isinstance(error, RemoteServiceError):
+            hint = self._details(error).get("retry_after_ms")
+            if isinstance(hint, (int, float)) and hint > 0:
+                time.sleep(float(hint) / 1000.0)
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -171,8 +288,18 @@ class ServiceClient:
     def close_session(self, session: str) -> dict[str, Any]:
         return self.request("close_session", session=session)
 
+    def restore_session(self, session: str) -> dict[str, Any]:
+        """Resume an evicted/drained session by id from its checkpoint."""
+        return self.request("restore_session", session=session)
+
     def shutdown(self) -> dict[str, Any]:
-        """Ask the server to stop after acknowledging."""
+        """Ask the server to stop after acknowledging.
+
+        The read is bounded by the connection's socket timeout: a server
+        that hangs instead of acking surfaces as the typed, retryable
+        :class:`~repro.errors.ServiceTimeoutError` rather than blocking
+        this client forever.
+        """
         return self.request("shutdown")
 
     # -- conveniences ----------------------------------------------------

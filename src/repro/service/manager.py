@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.actions import Action
@@ -45,11 +46,18 @@ from repro.core.blender import ActionReport, RunResult
 from repro.core.context import EngineContext
 from repro.errors import (
     AdmissionError,
+    CheckpointError,
     SessionEvictedError,
     SessionNotFoundError,
 )
 from repro.obs.metrics import metrics
 from repro.resilience import ResilienceConfig
+from repro.service.checkpoint import (
+    CheckpointStore,
+    checkpoint_session as _capture_checkpoint,
+    restore_session as _rebuild_from_checkpoint,
+)
+from repro.service.overload import OverloadPolicy
 from repro.service.scheduler import IdleScheduler
 from repro.service.session import ManagedSession, SessionLimits
 
@@ -71,6 +79,9 @@ class ManagerStats:
     sessions_closed: int = 0
     sessions_evicted: int = 0
     admission_rejections: int = 0
+    requests_shed: int = 0
+    sessions_checkpointed: int = 0
+    sessions_restored: int = 0
     runs_completed: int = 0
     runs_degraded: int = 0
     runs_failed: int = 0
@@ -82,6 +93,9 @@ class ManagerStats:
             "sessions_closed": self.sessions_closed,
             "sessions_evicted": self.sessions_evicted,
             "admission_rejections": self.admission_rejections,
+            "requests_shed": self.requests_shed,
+            "sessions_checkpointed": self.sessions_checkpointed,
+            "sessions_restored": self.sessions_restored,
             "runs_completed": self.runs_completed,
             "runs_degraded": self.runs_degraded,
             "runs_failed": self.runs_failed,
@@ -98,6 +112,8 @@ class SessionManager:
         max_sessions: int = 64,
         cap_entry_budget: int | None = 1_000_000,
         default_limits: SessionLimits | None = None,
+        overload: OverloadPolicy | None = None,
+        checkpoint_capacity: int = 256,
     ) -> None:
         if max_sessions < 1:
             raise AdmissionError("max_sessions must be at least 1")
@@ -105,13 +121,78 @@ class SessionManager:
         self.max_sessions = max_sessions
         self.cap_entry_budget = cap_entry_budget
         self.default_limits = default_limits or SessionLimits()
+        #: Watermark backpressure; None disables shedding (hard budgets
+        #: and :class:`AdmissionError` still apply, as before).
+        self.overload = overload
+        #: Verdict builder for drain refusals even when shedding is off.
+        self._shed_policy = overload or OverloadPolicy()
+        self.checkpoints = CheckpointStore(capacity=checkpoint_capacity)
         self.scheduler = IdleScheduler()
         self.stats_counters = ManagerStats()
         self._lock = threading.RLock()
+        #: Signalled whenever an in-flight request retires (drain waits).
+        self._idle_cv = threading.Condition(self._lock)
+        self._inflight = 0
+        self._draining = False
         self._sessions: dict[str, ManagedSession] = {}
         self._evicted: dict[str, str] = {}  # id -> reason (bounded)
         self._id_counter = itertools.count(1)
         self._touch_counter = itertools.count(1)
+
+    # -- backpressure ------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` ran; new work is refused."""
+        with self._lock:
+            return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently dispatched into engine work."""
+        with self._lock:
+            return self._inflight
+
+    def _shed(self, reason: str, detail: str) -> None:
+        """Refuse work with the typed retryable verdict (and count it)."""
+        self.stats_counters.requests_shed += 1
+        metrics.counter(
+            "repro_requests_shed_total",
+            "requests refused by backpressure",
+            reason=reason,
+        ).inc()
+        raise self._shed_policy.shed(reason, detail)
+
+    @contextmanager
+    def _track_request(self, mutating: bool = True):
+        """Count one dispatched request; shed at the door when over load.
+
+        Mutating verbs (create/action/run/restore) shed while draining
+        and past the queue-depth watermark; read-only verbs (results,
+        matches, trace) always pass — clients must be able to collect
+        answers from a server that is backing off or going away — but
+        still count as in-flight so drain waits for them.
+        """
+        with self._lock:
+            if mutating:
+                if self._draining:
+                    self._shed("draining", "server is draining for shutdown")
+                limit = (
+                    self.overload.max_inflight
+                    if self.overload is not None
+                    else None
+                )
+                if limit is not None and self._inflight >= limit:
+                    self._shed(
+                        "queue",
+                        f"{self._inflight} requests in flight (limit {limit})",
+                    )
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                self._idle_cv.notify_all()
 
     # -- lifecycle -------------------------------------------------------
     def create_session(
@@ -123,11 +204,19 @@ class SessionManager:
         deadline_seconds: float | None = None,
         trace: bool | None = None,
     ) -> ManagedSession:
-        """Admit a new session (evicting idle LRU sessions if needed)."""
+        """Admit a new session (evicting idle LRU sessions if needed).
+
+        With an :class:`OverloadPolicy` set, admissions past the session
+        or CAP watermarks first try to reclaim idle sessions (which now
+        checkpoints them) and, failing that, *shed* with the retryable
+        :class:`~repro.errors.ServiceOverloadedError` — the hard
+        :class:`~repro.errors.AdmissionError` is reserved for a budget
+        that is exhausted outright.
+        """
         limits = self._build_limits(
             strategy, pruning, max_results, resilience, deadline_seconds, trace
         )
-        with self._lock:
+        with self._track_request(), self._lock:
             if len(self._sessions) >= self.max_sessions:
                 self._evict_lru(
                     need_sessions=1, reason="session budget", active=None
@@ -142,6 +231,36 @@ class SessionManager:
                     f"session budget exhausted ({self.max_sessions} open, "
                     "none evictable)"
                 )
+            if self.overload is not None:
+                threshold = self.overload.session_threshold(self.max_sessions)
+                if len(self._sessions) >= threshold:
+                    self._evict_lru(
+                        need_sessions=len(self._sessions) - threshold + 1,
+                        reason="session watermark",
+                        active=None,
+                    )
+                if len(self._sessions) >= threshold:
+                    self._shed(
+                        "sessions",
+                        f"{len(self._sessions)} open sessions "
+                        f"(watermark {threshold}/{self.max_sessions})",
+                    )
+                cap_threshold = self.overload.cap_threshold(self.cap_entry_budget)
+                if cap_threshold is not None:
+                    in_use = self.total_cap_entries()
+                    if in_use >= cap_threshold:
+                        self._evict_lru(
+                            need_entries=in_use - cap_threshold + 1,
+                            reason="CAP watermark",
+                            active=None,
+                        )
+                        in_use = self.total_cap_entries()
+                    if in_use >= cap_threshold:
+                        self._shed(
+                            "cap",
+                            f"{in_use} CAP entries in use "
+                            f"(watermark {cap_threshold}/{self.cap_entry_budget})",
+                        )
             session_id = f"s{next(self._id_counter)}"
             session = ManagedSession(session_id, self.base_ctx, limits)
             session.touch_seq = next(self._touch_counter)
@@ -213,60 +332,69 @@ class SessionManager:
             if session is not None:
                 return session
             if session_id in self._evicted:
-                raise SessionEvictedError(session_id, self._evicted[session_id])
+                error = SessionEvictedError(session_id, self._evicted[session_id])
+                # Tell the client whether restore-by-id can still work or
+                # it must fall back to recreate-and-replay.
+                error.restorable = self.checkpoints.get(session_id) is not None
+                raise error
         raise SessionNotFoundError(session_id)
 
     # -- request dispatch ------------------------------------------------
     def apply_action(self, session_id: str, action: Action) -> ActionReport:
         """Apply one formulation action; idle time goes to the scheduler."""
-        session = self.get(session_id)
-        with session.lock:
-            self._touch(session)
-            report = session.apply(
-                action,
-                idle_sink=lambda idle: self.scheduler.donate(session, idle),
-            )
-        self._enforce_cap_budget(active=session_id)
-        return report
+        with self._track_request():
+            session = self.get(session_id)
+            with session.lock:
+                self._touch(session)
+                report = session.apply(
+                    action,
+                    idle_sink=lambda idle: self.scheduler.donate(session, idle),
+                )
+            self._enforce_cap_budget(active=session_id)
+            return report
 
     def run(self, session_id: str) -> RunResult:
         """Execute the session's Run click."""
-        session = self.get(session_id)
-        with session.lock:
-            self._touch(session)
-            try:
-                result = session.run()
-            except Exception:
-                with self._lock:
-                    self.stats_counters.runs_failed += 1
-                raise
-        with self._lock:
-            self.stats_counters.runs_completed += 1
-            if result.degraded:
-                self.stats_counters.runs_degraded += 1
-        self._enforce_cap_budget(active=session_id)
-        return result
+        with self._track_request():
+            session = self.get(session_id)
+            with session.lock:
+                self._touch(session)
+                try:
+                    result = session.run()
+                except Exception:
+                    with self._lock:
+                        self.stats_counters.runs_failed += 1
+                    raise
+            with self._lock:
+                self.stats_counters.runs_completed += 1
+                if result.degraded:
+                    self.stats_counters.runs_degraded += 1
+            self._enforce_cap_budget(active=session_id)
+            return result
 
     def results(self, session_id: str, limit: int | None = None):
         """Validated result subgraphs of a completed session."""
-        session = self.get(session_id)
-        with session.lock:
-            self._touch(session)
-            return session.results(limit=limit)
+        with self._track_request(mutating=False):
+            session = self.get(session_id)
+            with session.lock:
+                self._touch(session)
+                return session.results(limit=limit)
 
     def matches(self, session_id: str) -> list[dict[int, int]]:
         """Raw ``V_Δ`` of a completed session."""
-        session = self.get(session_id)
-        with session.lock:
-            self._touch(session)
-            return session.matches()
+        with self._track_request(mutating=False):
+            session = self.get(session_id)
+            with session.lock:
+                self._touch(session)
+                return session.matches()
 
     def trace(self, session_id: str, include_open: bool = True) -> dict[str, object]:
         """One session's span timeline (the wire ``trace`` verb)."""
-        session = self.get(session_id)
-        with session.lock:
-            self._touch(session)
-            return session.trace_export(include_open=include_open)
+        with self._track_request(mutating=False):
+            session = self.get(session_id)
+            with session.lock:
+                self._touch(session)
+                return session.trace_export(include_open=include_open)
 
     # -- accounting / eviction -------------------------------------------
     def _touch(self, session: ManagedSession) -> None:
@@ -331,6 +459,7 @@ class SessionManager:
                 continue
             freed_entries += session.cap_entries()
             freed_sessions += 1
+            self._checkpoint_quietly(session, reason)
             session.close()
             del self._sessions[session.id]
             self.scheduler.unregister(session.id)
@@ -347,6 +476,145 @@ class SessionManager:
                 reason=reason.replace(" ", "_"),
             ).inc()
 
+    # -- checkpoint / restore --------------------------------------------
+    def _checkpoint_quietly(self, session: ManagedSession, reason: str) -> None:
+        """Best-effort capture before reclaiming ``session``.
+
+        Terminal sessions (failed/closed) cannot round-trip; they evict
+        exactly as before this layer existed.  Capture reads bookkeeping
+        only — no engine compute — so it is safe under the manager lock.
+        """
+        try:
+            checkpoint = _capture_checkpoint(session, reason)
+        except CheckpointError:
+            return
+        self.checkpoints.put(checkpoint)
+        self.stats_counters.sessions_checkpointed += 1
+        metrics.counter(
+            "repro_sessions_checkpointed_total",
+            "sessions checkpointed at eviction or drain",
+        ).inc()
+
+    def restore_session(self, session_id: str) -> ManagedSession:
+        """Resume an evicted/drained session by id from its checkpoint.
+
+        Replays the checkpointed action log on a fresh engine **outside**
+        the manager lock (replay is engine compute), then re-admits the
+        session under its original id.  Deferral neutrality guarantees
+        the resumed session's subsequent matches are byte-identical to
+        the uninterrupted original.
+        """
+        with self._track_request():
+            with self._lock:
+                existing = self._sessions.get(session_id)
+                if existing is not None:
+                    return existing  # restore raced another client: done
+                checkpoint = self.checkpoints.pop(session_id)
+                if checkpoint is None:
+                    if session_id in self._evicted:
+                        raise SessionEvictedError(
+                            session_id,
+                            f"{self._evicted[session_id]}; checkpoint expired",
+                        )
+                    raise SessionNotFoundError(session_id)
+            try:
+                session = _rebuild_from_checkpoint(checkpoint, self.base_ctx)
+            except CheckpointError:
+                self.checkpoints.put(checkpoint)  # leave it restorable
+                raise
+            with self._lock:
+                if len(self._sessions) >= self.max_sessions:
+                    self._evict_lru(
+                        need_sessions=1, reason="session budget", active=None
+                    )
+                if len(self._sessions) >= self.max_sessions:
+                    self.checkpoints.put(checkpoint)
+                    self._shed(
+                        "sessions",
+                        f"no session slot free to restore {session_id!r}",
+                    )
+                session.touch_seq = next(self._touch_counter)
+                self._sessions[session_id] = session
+                self._evicted.pop(session_id, None)
+                self.scheduler.register(session)
+                self.stats_counters.sessions_restored += 1
+                metrics.counter(
+                    "repro_sessions_restored_total",
+                    "sessions resumed from a checkpoint",
+                ).inc()
+                metrics.gauge(
+                    "repro_sessions_open", "currently hosted sessions"
+                ).set(len(self._sessions))
+            self._enforce_cap_budget(active=session_id)
+            return session
+
+    # -- drain -----------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting mutating work; in-flight requests keep running."""
+        with self._lock:
+            self._draining = True
+
+    def end_drain(self) -> None:
+        """Re-open admission (a restarted server reusing this manager)."""
+        with self._lock:
+            self._draining = False
+
+    def drain(self, timeout: float | None = 5.0) -> dict[str, object]:
+        """Graceful drain: refuse new work, wait out in-flight requests,
+        checkpoint every idle session instead of dropping it.
+
+        In-flight runs are not interrupted — they complete (or hit their
+        own cooperative :class:`~repro.resilience.Deadline` checkpoint)
+        and retire through :meth:`_track_request`, which signals the
+        condition this method waits on.  Returns a summary of what was
+        checkpointed and what (if anything) was still busy at timeout.
+        """
+        self.begin_drain()
+        with self._idle_cv:
+            self._idle_cv.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+            remaining = self._inflight
+            sessions = sorted(
+                self._sessions.values(), key=lambda s: s.touch_seq
+            )
+        checkpointed: list[str] = []
+        skipped: list[str] = []
+        for session in sessions:
+            if not session.lock.acquire(blocking=False):
+                skipped.append(session.id)  # still busy past timeout
+                continue
+            try:
+                before = self.checkpoints.stats()["stored_total"]
+                self._checkpoint_quietly(session, "drain")
+                captured = (
+                    self.checkpoints.stats()["stored_total"] > before
+                )
+                session.close()
+            finally:
+                session.lock.release()
+            with self._lock:
+                self._sessions.pop(session.id, None)
+                self.scheduler.unregister(session.id)
+                if len(self._evicted) >= 1024:
+                    self._evicted.pop(next(iter(self._evicted)))
+                self._evicted[session.id] = "drain"
+                if captured:
+                    checkpointed.append(session.id)
+            metrics.counter(
+                "repro_sessions_drained_total",
+                "sessions checkpointed and closed by drain",
+            ).inc()
+        with self._lock:
+            metrics.gauge(
+                "repro_sessions_open", "currently hosted sessions"
+            ).set(len(self._sessions))
+        return {
+            "checkpointed": checkpointed,
+            "busy": skipped,
+            "inflight_at_timeout": remaining,
+        }
+
     # -- introspection ---------------------------------------------------
     def session_ids(self) -> list[str]:
         """Ids of currently hosted sessions."""
@@ -357,12 +625,27 @@ class SessionManager:
         """Service-level statistics (wire ``stats`` op without a session)."""
         with self._lock:
             open_sessions = len(self._sessions)
+            inflight = self._inflight
+            draining = self._draining
         oracle = self.base_ctx.oracle
         out: dict[str, object] = {
             "open_sessions": open_sessions,
             "max_sessions": self.max_sessions,
             "cap_entry_budget": self.cap_entry_budget,
             "cap_entries_in_use": self.total_cap_entries(),
+            "inflight": inflight,
+            "draining": draining,
+            "overload": (
+                None
+                if self.overload is None
+                else {
+                    "session_watermark": self.overload.session_watermark,
+                    "cap_watermark": self.overload.cap_watermark,
+                    "max_inflight": self.overload.max_inflight,
+                    "retry_after_ms": self.overload.retry_after_ms,
+                }
+            ),
+            "checkpoints": self.checkpoints.stats(),
             "graph": {
                 "name": self.base_ctx.graph.name,
                 "num_vertices": self.base_ctx.graph.num_vertices,

@@ -48,11 +48,13 @@ from repro.errors import (
     ActionError,
     AdmissionError,
     CAPCorruptionError,
+    CheckpointError,
     DeadlineExceededError,
     DegradedModeError,
     ProtocolError,
     ReproError,
     RetryExhaustedError,
+    ServiceOverloadedError,
     SessionError,
     SessionEvictedError,
     SessionNotFoundError,
@@ -92,6 +94,7 @@ SUPPORTED_VERSIONS = (1, 2)
 OPS = (
     "ping",
     "create_session",
+    "restore_session",
     "action",
     "run",
     "results",
@@ -105,7 +108,9 @@ OPS = (
 
 #: Error types a client may retry (after recreating state if needed);
 #: everything else is a caller bug or a terminal server verdict.
-_RETRYABLE = (SessionEvictedError, AdmissionError)
+#: :class:`ServiceOverloadedError` is the backpressure verdict — retry
+#: after its ``retry_after_ms`` hint and the shed normally clears.
+_RETRYABLE = (SessionEvictedError, AdmissionError, ServiceOverloadedError)
 
 #: Stable v2 error codes by exception type — what client programs switch
 #: on (exception class names are an implementation detail carried in
@@ -114,6 +119,8 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
     (ProtocolError, "bad_request"),
     (SessionNotFoundError, "session_not_found"),
     (SessionEvictedError, "session_evicted"),
+    (ServiceOverloadedError, "overloaded"),
+    (CheckpointError, "checkpoint_invalid"),
     (AdmissionError, "admission_refused"),
     (DeadlineExceededError, "deadline_exceeded"),
     (DegradedModeError, "degraded_mode"),
@@ -282,6 +289,13 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
         payload["deadline_context"] = exc.context
     if isinstance(exc, (SessionNotFoundError, SessionEvictedError)):
         payload["session"] = exc.session_id
+    if isinstance(exc, SessionEvictedError):
+        # Restore-by-id is possible while the checkpoint survives; after
+        # that the client falls back to recreate-and-replay.
+        payload["restorable"] = bool(getattr(exc, "restorable", False))
+    if isinstance(exc, ServiceOverloadedError):
+        payload["retry_after_ms"] = exc.retry_after_ms
+        payload["reason"] = exc.reason
     return payload
 
 

@@ -22,6 +22,13 @@ neutrality (ARCHITECTURE.md invariant 3), the CAP fixpoint and therefore
 Sessions being operated on by another thread are skipped via a
 non-blocking lock probe, so donation never deadlocks with a concurrent
 request on the beneficiary.
+
+Restored sessions (:mod:`repro.service.checkpoint`) re-register here on
+re-admission: their checkpoints carry no CAP entries, so the scheduler
+is what rebuilds their deferred work *warm*, inside whatever idle
+windows the traffic donates next — deferral neutrality again guarantees
+the rebuilt fixpoint, and hence ``V_Δ``, is the one the session would
+have reached uninterrupted.
 """
 
 from __future__ import annotations

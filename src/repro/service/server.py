@@ -74,12 +74,28 @@ class QueryServer:
         manager: SessionManager,
         host: str = "127.0.0.1",
         port: int = 0,
+        drain_timeout: float | None = 5.0,
     ) -> None:
         self.manager = manager
+        #: How long :meth:`stop` waits for in-flight requests to retire
+        #: before checkpointing idle sessions (None = wait forever).
+        self.drain_timeout = drain_timeout
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.query_server = self
         self._thread: threading.Thread | None = None
         self._shutdown_requested = threading.Event()
+        #: Guards the serve/stop handshake: ``_serving`` is only read or
+        #: written under it, which closes the startup race where stop()
+        #: would call ``_tcp.shutdown()`` before ``serve_forever`` ever
+        #: ran (socketserver's shutdown handshake waits on an event only
+        #: the serve loop sets — calling it on a never-started server
+        #: blocks forever).
+        self._lifecycle = threading.Lock()
+        self._serving = False
+        #: Serializes concurrent stop() calls (second becomes a no-op).
+        self._stop_lock = threading.Lock()
+        self._stopped = False
+        self._drain_summary: dict[str, object] | None = None
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -90,6 +106,12 @@ class QueryServer:
 
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`stop` or a ``shutdown`` op."""
+        with self._lifecycle:
+            if self._shutdown_requested.is_set():
+                # stop() won the race: never enter the accept loop.
+                self._tcp.server_close()
+                return
+            self._serving = True
         try:
             self._tcp.serve_forever(poll_interval=0.05)
         finally:
@@ -103,13 +125,43 @@ class QueryServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop accepting and unwind (idempotent)."""
-        self._shutdown_requested.set()
-        self._tcp.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
+    def stop(self, drain: bool = True) -> dict[str, object] | None:
+        """Stop the server (idempotent; safe to race ``serve_forever``).
+
+        With ``drain=True`` (default) the first stop() runs the graceful
+        sequence before the accept loop unwinds: the manager refuses new
+        mutating work (typed retryable ``draining`` sheds), in-flight
+        requests retire at their own pace — a long Run still hits its
+        cooperative :class:`~repro.resilience.Deadline` checkpoint —
+        bounded by :attr:`drain_timeout`, and every idle session is
+        checkpointed for restore-by-id instead of dropped.  Returns the
+        drain summary on the stop() that performed it, else None.
+
+        Subsequent stop() calls (including stop() after the wire
+        ``shutdown`` op already unwound the loop, or stop() on a server
+        whose ``serve_forever`` never started) are safe no-ops.
+        """
+        with self._stop_lock:
+            first = not self._stopped
+            self._stopped = True
+            self._shutdown_requested.set()
+            if first and drain:
+                self._drain_summary = self.manager.drain(
+                    timeout=self.drain_timeout
+                )
+            with self._lifecycle:
+                if self._serving:
+                    # Safe even if the accept loop is not in its while
+                    # body yet: socketserver latches the shutdown request
+                    # and the loop exits on entry.
+                    self._tcp.shutdown()
+                else:
+                    self._tcp.server_close()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
             self._thread = None
+        return self._drain_summary if first else None
 
     @property
     def shutdown_requested(self) -> bool:
@@ -145,11 +197,13 @@ class QueryServer:
         response = protocol.ok_response(version, req_id, result)
         if op == "shutdown":
             response["_close"] = True
-            # Ack first, then unwind the accept loop from another thread
-            # (serve_forever cannot be stopped from a handler thread it
-            # itself is blocking).
+            # Ack first, then run the full graceful stop (drain +
+            # checkpoint + accept-loop unwind) from another thread —
+            # serve_forever cannot be stopped from a handler thread it
+            # itself is blocking, and the requester deserves its ack
+            # before admission closes.
             self._shutdown_requested.set()
-            threading.Thread(target=self._tcp.shutdown, daemon=True).start()
+            threading.Thread(target=self.stop, daemon=True).start()
         return response
 
     @staticmethod
@@ -204,6 +258,14 @@ class QueryServer:
         session_id = request.get("session")
         if not isinstance(session_id, str):
             raise ProtocolError(f"op {op!r} requires a 'session' string")
+        if op == "restore_session":
+            session = manager.restore_session(session_id)
+            return {
+                "session": session.id,
+                "state": session.state,
+                "strategy": session.limits.strategy,
+                "restored": True,
+            }
         if op == "action":
             report = manager.apply_action(
                 session_id, protocol.wire_action(request.get("action"))

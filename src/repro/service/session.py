@@ -99,6 +99,11 @@ class ManagedSession:
         self.lock = threading.Lock()
         self.state = "formulating"
         self.actions_applied = 0
+        #: Successfully applied non-Run actions, in order — the replay
+        #: script a checkpoint captures (see repro.service.checkpoint).
+        self.action_log: list[Action] = []
+        #: True when this session was rebuilt from a checkpoint.
+        self.restored = False
         #: Backlog charged to the SRT at the Run click (set by run()).
         self.backlog_seconds = 0.0
         #: Idle seconds this session donated to the scheduler.
@@ -131,6 +136,7 @@ class ManagedSession:
                 self.state = "failed"
             raise
         self.actions_applied += 1
+        self.action_log.append(action)
         return report
 
     def run(self) -> RunResult:
@@ -228,6 +234,7 @@ class ManagedSession:
         out: dict[str, object] = {
             "session": self.id,
             "state": self.state,
+            "restored": self.restored,
             "strategy": self.boomer.strategy_name,
             "actions_applied": self.actions_applied,
             "cap_entries": self.cap_entries(),

@@ -21,8 +21,16 @@ from repro.workload.generator import (
     paper_query_set,
 )
 from repro.workload.qfs import QFS_SEQUENCES, qfs_edge_order
+from repro.workload.traffic import (
+    SessionScript,
+    SoakWorkloadConfig,
+    generate_soak_schedule,
+)
 
 __all__ = [
+    "SessionScript",
+    "SoakWorkloadConfig",
+    "generate_soak_schedule",
     "QueryTemplate",
     "TEMPLATES",
     "get_template",

@@ -1,0 +1,244 @@
+"""Session checkpoint/restore: evict → capture → resume, byte-identical.
+
+Deferral neutrality is what makes this sound: CAP work deferred across
+the eviction gap is rebuilt warm by the idle scheduler, and the restored
+session's subsequent matches must equal the uninterrupted session's
+exactly (``canonical_matches`` comparison — the same acceptance bar the
+service throughput benchmark enforces).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.actions import ModifyBounds, NewEdge, NewVertex, Run
+from repro.errors import CheckpointError, SessionEvictedError, SessionNotFoundError
+from repro.service import (
+    CheckpointStore,
+    QueryServer,
+    ServiceClient,
+    SessionManager,
+    canonical_matches,
+)
+from repro.service.checkpoint import checkpoint_session, restore_session
+from repro.service.client import RemoteServiceError
+from repro.resilience import RetryPolicy
+
+FIG2_ACTIONS = [
+    NewVertex(0, "A", latency_after=0.002),
+    NewVertex(1, "B", latency_after=0.002),
+    NewEdge(0, 1, 1, 1, latency_after=0.002),
+    NewVertex(2, "C", latency_after=0.002),
+    NewEdge(1, 2, 1, 2, latency_after=0.002),
+    NewEdge(0, 2, 1, 3, latency_after=0.002),
+]
+
+POSTURES = ("off", "default", "strict", "paranoid")
+
+
+def formulate(manager, posture, actions=FIG2_ACTIONS):
+    session = manager.create_session(resilience=posture)
+    for action in actions:
+        manager.apply_action(session.id, action)
+    return session
+
+
+class TestSerialization:
+    def test_json_round_trip(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx)
+        session = formulate(manager, "default")
+        checkpoint = checkpoint_session(session, "test")
+        clone = type(checkpoint).from_json(checkpoint.to_json())
+        assert clone == checkpoint
+        assert clone.actions == checkpoint.actions
+        assert clone.session_id == session.id
+
+    def test_malformed_json_is_typed(self):
+        from repro.service.checkpoint import SessionCheckpoint
+
+        with pytest.raises(CheckpointError):
+            SessionCheckpoint.from_json("not json at all")
+        with pytest.raises(CheckpointError):
+            SessionCheckpoint.from_json(json.dumps({"format": 999}))
+        with pytest.raises(CheckpointError):
+            SessionCheckpoint.from_json(json.dumps([1, 2, 3]))
+
+    def test_terminal_sessions_cannot_checkpoint(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx)
+        session = manager.create_session()
+        session.close()
+        with pytest.raises(CheckpointError):
+            checkpoint_session(session, "test")
+
+    def test_run_actions_not_replayed_twice(self, fig2_ctx):
+        """Run is excluded from the action log; restore re-runs once."""
+        manager = SessionManager(fig2_ctx)
+        session = formulate(manager, "default")
+        manager.run(session.id)
+        checkpoint = checkpoint_session(session, "test")
+        kinds = [a["kind"] for a in checkpoint.actions]
+        assert "Run" not in kinds
+        assert checkpoint.state == "ran"
+
+
+class TestCheckpointStore:
+    def _checkpoint(self, fig2_ctx, manager=None):
+        manager = manager or SessionManager(fig2_ctx)
+        return checkpoint_session(formulate(manager, "off"), "test")
+
+    def test_capacity_drops_oldest(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx, max_sessions=8)
+        store = CheckpointStore(capacity=2)
+        checkpoints = [
+            checkpoint_session(formulate(manager, "off"), "test")
+            for _ in range(3)
+        ]
+        for checkpoint in checkpoints:
+            store.put(checkpoint)
+        assert len(store) == 2
+        assert store.get(checkpoints[0].session_id) is None  # oldest gone
+        stats = store.stats()
+        assert stats["stored_total"] == 3
+        assert stats["dropped_total"] == 1
+
+    def test_pop_removes(self, fig2_ctx):
+        store = CheckpointStore(capacity=4)
+        checkpoint = self._checkpoint(fig2_ctx)
+        store.put(checkpoint)
+        assert store.pop(checkpoint.session_id) is checkpoint
+        assert store.pop(checkpoint.session_id) is None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("posture", POSTURES)
+    def test_evict_restore_matches_uninterrupted(self, fig2_ctx, posture):
+        # Reference: the same formulation, never interrupted.
+        serial = SessionManager(fig2_ctx)
+        reference = formulate(serial, posture)
+        serial.run(reference.id)
+        expected = canonical_matches(serial.matches(reference.id))
+        assert expected  # fig2 Q has matches; identity must be non-vacuous
+
+        manager = SessionManager(fig2_ctx, max_sessions=1)
+        victim = formulate(manager, posture)
+        manager.create_session()  # LRU-evicts (and checkpoints) the victim
+        assert victim.id not in manager.session_ids()
+
+        restored = manager.restore_session(victim.id)
+        assert restored.id == victim.id
+        assert restored.restored is True
+        manager.run(victim.id)
+        assert canonical_matches(manager.matches(victim.id)) == expected
+
+    @pytest.mark.parametrize("posture", ("off", "strict"))
+    def test_evict_after_run_preserves_matches(self, fig2_ctx, posture):
+        serial = SessionManager(fig2_ctx)
+        reference = formulate(serial, posture)
+        serial.run(reference.id)
+        expected = canonical_matches(serial.matches(reference.id))
+
+        manager = SessionManager(fig2_ctx, max_sessions=1)
+        victim = formulate(manager, posture)
+        manager.run(victim.id)
+        manager.create_session()  # evict a completed session
+        restored = manager.restore_session(victim.id)
+        assert restored.state == "ran"
+        assert canonical_matches(manager.matches(victim.id)) == expected
+
+    def test_restore_mid_formulation_then_continue(self, fig2_ctx):
+        serial = SessionManager(fig2_ctx)
+        reference = formulate(serial, "default")
+        serial.apply_action(reference.id, ModifyBounds(0, 2, 1, 4))
+        serial.run(reference.id)
+        expected = canonical_matches(serial.matches(reference.id))
+
+        manager = SessionManager(fig2_ctx, max_sessions=1)
+        victim = formulate(manager, "default")  # formulated, not yet run
+        manager.create_session()
+        manager.restore_session(victim.id)
+        manager.apply_action(victim.id, ModifyBounds(0, 2, 1, 4))
+        manager.run(victim.id)
+        assert canonical_matches(manager.matches(victim.id)) == expected
+
+    def test_restore_is_idempotent_for_live_sessions(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx)
+        session = formulate(manager, "default")
+        assert manager.restore_session(session.id) is session
+
+    def test_unknown_session_restore_is_typed(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx)
+        with pytest.raises(SessionNotFoundError):
+            manager.restore_session("s999")
+
+    def test_expired_checkpoint_restore_is_typed(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx, max_sessions=1, checkpoint_capacity=1)
+        victim = formulate(manager, "off")
+        manager.create_session()  # evicts + checkpoints victim
+        # A second eviction overflows the single-slot store: victim expires.
+        second = formulate(manager, "off")
+        assert second.id not in (victim.id,)
+        manager.create_session()
+        with pytest.raises(SessionEvictedError, match="checkpoint expired"):
+            manager.restore_session(victim.id)
+
+    def test_eviction_error_advertises_restorability(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx, max_sessions=1)
+        victim = formulate(manager, "off")
+        manager.create_session()
+        with pytest.raises(SessionEvictedError) as info:
+            manager.apply_action(victim.id, NewVertex(9, "A"))
+        assert info.value.restorable is True
+
+
+class TestRestoreOverTheWire:
+    @pytest.fixture()
+    def served(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx, max_sessions=1)
+        server = QueryServer(manager, host="127.0.0.1", port=0).start()
+        yield server, manager
+        server.stop()
+
+    def test_restore_op(self, served):
+        server, manager = served
+        with ServiceClient(*server.address) as client:
+            sid = client.create_session()
+            for action in FIG2_ACTIONS:
+                client.action(sid, action)
+            client.run(sid)
+            expected = client.matches(sid)
+            assert expected  # identity check below must be non-vacuous
+            client.create_session()  # evicts sid
+            result = client.restore_session(sid)
+            assert result["restored"] is True
+            assert result["session"] == sid
+            assert client.matches(sid) == expected
+
+    def test_auto_restore_is_transparent(self, served):
+        server, manager = served
+        with ServiceClient(
+            *server.address,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.001),
+            auto_restore=True,
+        ) as client:
+            sid = client.create_session()
+            for action in FIG2_ACTIONS:
+                client.action(sid, action)
+            client.run(sid)
+            expected = client.matches(sid)
+            client.create_session()  # evicts sid
+            # The evicted-session read restores and retries on its own.
+            assert client.matches(sid) == expected
+        assert manager.stats_counters.sessions_restored >= 1
+
+    def test_evicted_error_carries_restorable_hint(self, served):
+        server, _ = served
+        with ServiceClient(*server.address) as client:
+            sid = client.create_session()
+            client.action(sid, FIG2_ACTIONS[0])
+            client.create_session()
+            with pytest.raises(RemoteServiceError) as info:
+                client.action(sid, FIG2_ACTIONS[1])
+            assert info.value.code == "session_evicted"
+            assert info.value.payload["details"]["restorable"] is True

@@ -12,6 +12,7 @@ import os
 import socket
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
@@ -155,6 +156,93 @@ def test_shutdown_op_stops_the_server(fig2_ctx):
     else:
         pytest.fail("server still accepting after shutdown op")
     srv.stop()  # idempotent
+
+
+def test_stop_twice_is_a_safe_noop(fig2_ctx):
+    srv = QueryServer(SessionManager(fig2_ctx), host="127.0.0.1", port=0).start()
+    summary = srv.stop()
+    assert summary is not None  # first stop drains and reports
+    for _ in range(3):
+        assert srv.stop() is None  # later stops: no second drain, no hang
+
+
+def test_stop_before_serve_forever_does_not_hang(fig2_ctx):
+    """stop() racing (or beating) serve_forever startup must not deadlock.
+
+    socketserver's shutdown() blocks forever if serve_forever never ran;
+    the lifecycle latch has to close the socket directly in that case.
+    """
+    srv = QueryServer(SessionManager(fig2_ctx), host="127.0.0.1", port=0)
+    done = threading.Event()
+
+    def stopper():
+        srv.stop()
+        done.set()
+
+    thread = threading.Thread(target=stopper, daemon=True)
+    thread.start()
+    assert done.wait(timeout=5.0), "stop() hung without serve_forever"
+    thread.join()
+    with pytest.raises(OSError):
+        socket.create_connection(srv.address, timeout=0.2).close()
+
+
+def test_stop_drains_and_checkpoints_idle_sessions(fig2_ctx):
+    manager = SessionManager(fig2_ctx)
+    srv = QueryServer(manager, host="127.0.0.1", port=0).start()
+    with ServiceClient(*srv.address) as client:
+        sid = client.create_session()
+        for action in FIG2_ACTIONS:
+            client.action(sid, action)
+    summary = srv.stop()
+    assert summary["checkpointed"] == [sid]
+    assert summary["busy"] == []
+    assert manager.session_ids() == []
+    assert manager.checkpoints.get(sid) is not None
+    # The drained session is resumable, not lost.
+    manager.end_drain()
+    restored = manager.restore_session(sid)
+    assert restored.actions_applied == len(FIG2_ACTIONS)
+
+
+def test_stop_without_drain_skips_checkpointing(fig2_ctx):
+    manager = SessionManager(fig2_ctx)
+    srv = QueryServer(manager, host="127.0.0.1", port=0).start()
+    with ServiceClient(*srv.address) as client:
+        sid = client.create_session()
+    assert srv.stop(drain=False) is None
+    assert manager.checkpoints.get(sid) is None
+
+
+def test_drain_waits_for_inflight_reads(fig2_ctx):
+    """Drain must not close sessions out from under an in-flight request."""
+    manager = SessionManager(fig2_ctx)
+    srv = QueryServer(manager, host="127.0.0.1", port=0).start()
+    with ServiceClient(*srv.address) as client:
+        sid = client.create_session()
+        for action in FIG2_ACTIONS:
+            client.action(sid, action)
+        client.run(sid)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_read():
+            with manager._track_request(mutating=False):
+                entered.set()
+                release.wait(timeout=5.0)
+
+        reader = threading.Thread(target=slow_read, daemon=True)
+        reader.start()
+        assert entered.wait(timeout=5.0)
+        stopper = threading.Thread(target=srv.stop, daemon=True)
+        stopper.start()
+        time.sleep(0.05)
+        assert stopper.is_alive()  # drain is waiting on the in-flight read
+        release.set()
+        reader.join(timeout=5.0)
+        stopper.join(timeout=10.0)
+        assert not stopper.is_alive()
+    assert manager.checkpoints.get(sid) is not None
 
 
 def test_cli_serve_subprocess_smoke(tmp_path):

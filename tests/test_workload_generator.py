@@ -1,6 +1,8 @@
-"""Tests for query-instance generation."""
+"""Tests for query-instance generation and soak-schedule determinism."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.query import Bounds
 from repro.errors import ExperimentError
@@ -12,6 +14,7 @@ from repro.workload.generator import (
     paper_query_set,
 )
 from repro.workload.templates import get_template
+from repro.workload.traffic import SoakWorkloadConfig, generate_soak_schedule
 from tests.conftest import build_fig2_graph
 
 
@@ -120,3 +123,93 @@ class TestPaperQuerySet:
         g = build_fig2_graph()
         instances = paper_query_set(g, dataset="fig2")
         assert len({i.name for i in instances}) == len(instances)
+
+
+class TestSoakSchedule:
+    """Determinism regression: one seed pins the *entire* soak schedule."""
+
+    def test_same_seed_identical_schedule(self):
+        g = build_fig2_graph()
+        config = SoakWorkloadConfig(seed=42, sessions=10, modify_rate=0.5,
+                                    abandon_rate=0.2)
+        a = generate_soak_schedule(g, config)
+        b = generate_soak_schedule(g, config)
+        assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+
+    def test_prefix_stable_when_sessions_grow(self):
+        """Adding sessions never perturbs the ones before them."""
+        g = build_fig2_graph()
+        small = generate_soak_schedule(g, SoakWorkloadConfig(seed=7, sessions=5))
+        large = generate_soak_schedule(g, SoakWorkloadConfig(seed=7, sessions=9))
+        assert [s.to_dict() for s in large[:5]] == [s.to_dict() for s in small]
+
+    def test_arrivals_strictly_ordered_and_heavy_tailed(self):
+        g = build_fig2_graph()
+        scripts = generate_soak_schedule(
+            g, SoakWorkloadConfig(seed=3, sessions=40)
+        )
+        offsets = [s.arrival_offset for s in scripts]
+        assert offsets == sorted(offsets)
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))
+
+    def test_abandoned_scripts_never_run(self):
+        g = build_fig2_graph()
+        scripts = generate_soak_schedule(
+            g, SoakWorkloadConfig(seed=1, sessions=30, abandon_rate=0.5)
+        )
+        abandoned = [s for s in scripts if s.abandoned]
+        assert abandoned  # rate 0.5 over 30 sessions: must fire
+        for script in abandoned:
+            assert script.actions  # nonempty prefix survives
+            assert all(a["kind"] != "Run" for a in script.actions)
+        for script in scripts:
+            if not script.abandoned:
+                assert script.actions[-1]["kind"] == "Run"
+
+    def test_modified_scripts_revise_bounds_before_run(self):
+        g = build_fig2_graph()
+        scripts = generate_soak_schedule(
+            g, SoakWorkloadConfig(seed=1, sessions=30, modify_rate=0.6,
+                                  abandon_rate=0.0)
+        )
+        modified = [s for s in scripts if s.modified]
+        assert modified
+        for script in modified:
+            kinds = [a["kind"] for a in script.actions]
+            assert "ModifyBounds" in kinds
+            assert kinds.index("ModifyBounds") < kinds.index("Run")
+
+    def test_postures_rotate(self):
+        g = build_fig2_graph()
+        scripts = generate_soak_schedule(
+            g, SoakWorkloadConfig(seed=0, sessions=6,
+                                  postures=("default", "strict"))
+        )
+        assert [s.posture for s in scripts] == ["default", "strict"] * 3
+
+    def test_validation_is_loud(self):
+        with pytest.raises(ExperimentError):
+            SoakWorkloadConfig(sessions=0)
+        with pytest.raises(ExperimentError):
+            SoakWorkloadConfig(pareto_alpha=1.0)
+        with pytest.raises(ExperimentError):
+            SoakWorkloadConfig(modify_rate=1.5)
+        with pytest.raises(ExperimentError):
+            SoakWorkloadConfig(postures=())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        sessions=st.integers(min_value=1, max_value=8),
+        modify=st.floats(min_value=0.0, max_value=1.0),
+        abandon=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_any_seed_reproduces_itself(self, seed, sessions, modify, abandon):
+        g = build_fig2_graph()
+        config = SoakWorkloadConfig(
+            seed=seed, sessions=sessions,
+            modify_rate=modify, abandon_rate=abandon,
+        )
+        a = generate_soak_schedule(g, config)
+        b = generate_soak_schedule(g, config)
+        assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
