@@ -1,9 +1,13 @@
 """Multi-session service throughput — emits ``BENCH_service.json``.
 
 Drives the full wire path (``QueryServer`` on an ephemeral TCP port, one
-:class:`ServiceClient` connection per simulated user) at 1, 8 and 32
-concurrent scripted sessions over one shared graph + PML oracle, and
-records sessions/sec plus p50/p95 Run latency per concurrency level.
+:class:`ServiceClient` connection per simulated user) at 1, 8, 32, 128
+and 512 concurrent scripted sessions over one shared graph + PML oracle,
+for each backend in the worker-count sweep: ``workers=0`` (the threaded
+:class:`SessionManager` — the GIL-bound baseline) and ``workers=N`` (the
+:class:`~repro.service.PoolDispatcher` fleet sharing the engine basis
+zero-copy).  Each row records sessions/sec plus p50/p95 Run latency and
+the worker count that produced it.
 
 Correctness rides along: every concurrent session's canonical match set
 must be byte-identical to a serial single-session run of the same script
@@ -13,12 +17,14 @@ reported for answers known to be right.
 The artifact seeds the service perf trajectory — future PRs compare
 their ``BENCH_service.json`` against the checked-in history, not against
 absolute numbers (CI machines vary; the shape and the identity assertion
-are what must hold).
+are what must hold).  ``cpu_count`` is recorded per run precisely so a
+flat pool-vs-threaded curve on a 1-core box is read as what it is.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import threading
 import time
@@ -32,13 +38,27 @@ from repro.core.blender import Boomer
 from repro.datasets.registry import get_dataset
 from repro.gui.latency import LatencyModel
 from repro.gui.simulator import SimulatedUser
-from repro.service import QueryServer, ServiceClient, SessionManager, canonical_matches
+from repro.service import (
+    PoolDispatcher,
+    QueryServer,
+    ServiceClient,
+    SessionManager,
+    canonical_matches,
+)
 from repro.workload.generator import instantiate
 
-CONCURRENCIES = (1, 8, 32)
+CONCURRENCIES = (1, 8, 32, 128, 512)
+#: Fleet-wide session budget — must clear the largest concurrency rung.
+MAX_SESSIONS = 600
 #: Distinct formulation scripts cycled across sessions.
 NUM_SCRIPTS = 4
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def worker_counts() -> tuple[int, ...]:
+    """Backends to sweep: threaded baseline, then a core-bounded pool."""
+    cores = os.cpu_count() or 1
+    return (0, min(4, max(1, cores)))
 
 
 @pytest.fixture(scope="module")
@@ -124,15 +144,31 @@ def percentile(values, fraction):
     return ordered[index]
 
 
-def test_service_throughput(bundle, scripts, reference):
-    manager = SessionManager(bundle.make_context(), max_sessions=64)
-    server = QueryServer(manager, host="127.0.0.1", port=0).start()
+def _sweep_backend(bundle, scripts, reference, workers):
+    """All concurrency rungs against one backend; returns (rows, stats)."""
+    ctx = bundle.make_context()
+    # cap_entry_budget=None: this benchmark measures raw throughput at
+    # 512 concurrent sessions; a CAP budget would LRU-evict live sessions
+    # mid-drive (admission behavior is bench_soak's subject, not ours).
+    if workers > 0:
+        backend = PoolDispatcher(
+            ctx,
+            workers=workers,
+            max_sessions=MAX_SESSIONS,
+            cap_entry_budget=None,
+        )
+    else:
+        backend = SessionManager(
+            ctx, max_sessions=MAX_SESSIONS, cap_entry_budget=None
+        )
+    server = QueryServer(backend, host="127.0.0.1", port=0).start()
     rows = []
     try:
         for n_sessions in CONCURRENCIES:
             wall, latencies = drive(server.address, scripts, reference, n_sessions)
             rows.append(
                 {
+                    "workers": workers,
                     "concurrent_sessions": n_sessions,
                     "sessions_per_second": n_sessions / wall if wall > 0 else 0.0,
                     "wall_seconds": wall,
@@ -142,17 +178,39 @@ def test_service_throughput(bundle, scripts, reference):
                 }
             )
             print(
-                f"\n{n_sessions:>3} sessions: {rows[-1]['sessions_per_second']:.1f}/s, "
+                f"\nworkers={workers} {n_sessions:>3} sessions: "
+                f"{rows[-1]['sessions_per_second']:.1f}/s, "
                 f"Run p50 {rows[-1]['run_p50_seconds'] * 1e3:.1f} ms, "
                 f"p95 {rows[-1]['run_p95_seconds'] * 1e3:.1f} ms"
             )
-        stats = manager.stats()
+        # Harvest stats while the backend is alive (the pool's workers
+        # answer the aggregated ``stats`` op; close() tears them down).
+        if workers > 0:
+            stats = backend.dispatch({"op": "stats"})
+        else:
+            stats = backend.stats()
     finally:
         server.stop()
 
-    # All sessions went through one manager over one shared oracle.
+    # All sessions went through one backend over one shared oracle.
     assert stats["sessions_created"] == sum(CONCURRENCIES)
     assert stats["open_sessions"] == 0
+    return rows, stats
+
+
+def test_service_throughput(bundle, scripts, reference):
+    rows = []
+    accounting = {}
+    for workers in worker_counts():
+        backend_rows, stats = _sweep_backend(bundle, scripts, reference, workers)
+        rows.extend(backend_rows)
+        accounting[f"workers_{workers}"] = {
+            "sessions_created": stats["sessions_created"],
+            "sessions_evicted": stats["sessions_evicted"],
+            "admission_rejections": stats["admission_rejections"],
+            "requests_shed": stats["requests_shed"],
+            "sessions_restored": stats["sessions_restored"],
+        }
 
     OUTPUT.write_text(
         json.dumps(
@@ -163,12 +221,10 @@ def test_service_throughput(bundle, scripts, reference):
                 "graph_vertices": bundle.graph.num_vertices,
                 "graph_edges": bundle.graph.num_edges,
                 "num_scripts": NUM_SCRIPTS,
+                "cpu_count": os.cpu_count(),
+                "worker_counts": list(worker_counts()),
                 "rows": rows,
-                "manager": {
-                    "sessions_created": stats["sessions_created"],
-                    "sessions_evicted": stats["sessions_evicted"],
-                    "admission_rejections": stats["admission_rejections"],
-                },
+                "accounting": accounting,
             },
             indent=2,
         )

@@ -341,25 +341,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_resilience or _RC.default(), deadline_seconds=args.deadline
         )
 
-    manager = SessionManager(
-        base_ctx,
-        max_sessions=args.max_sessions,
-        cap_entry_budget=args.cap_budget,
-        default_limits=SessionLimits(resilience=default_resilience),
-    )
-    server = QueryServer(manager, host=args.host, port=args.port)
+    limits = SessionLimits(resilience=default_resilience)
+    if args.workers > 0:
+        from repro.service.pool import PoolDispatcher
+
+        backend = PoolDispatcher(
+            base_ctx,
+            workers=args.workers,
+            max_sessions=args.max_sessions,
+            cap_entry_budget=args.cap_budget,
+            default_limits=limits,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    else:
+        backend = SessionManager(
+            base_ctx,
+            max_sessions=args.max_sessions,
+            cap_entry_budget=args.cap_budget,
+            default_limits=limits,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_on_mutate=args.checkpoint_dir is not None,
+        )
+    server = QueryServer(backend, host=args.host, port=args.port)
     host, port = server.address
+    mode = f"{args.workers} workers" if args.workers > 0 else "threaded"
+    # The banner line is a parsing contract (smoke tests, scripts): keep
+    # it exactly `serving on host:port`; the mode goes to stderr.
     print(f"serving on {host}:{port}", flush=True)
+    print(f"backend: {mode}", file=sys.stderr, flush=True)
+    stats: dict[str, object] = {}
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        stats = manager.stats()
+        try:
+            stats = server.backend.dispatch({"op": "stats"})
+        except Exception:
+            stats = {}
+        server.stop()
         print(
-            f"served {stats['sessions_created']} sessions "
-            f"({stats['runs_completed']} runs, "
-            f"{stats['sessions_evicted']} evicted); bye",
+            f"served {stats.get('sessions_created', 0)} sessions "
+            f"({stats.get('runs_completed', 0)} runs, "
+            f"{stats.get('sessions_evicted', 0)} evicted); bye",
             file=sys.stderr,
         )
     return EXIT_OK
@@ -383,7 +407,11 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         bundle = get_dataset(args.dataset, args.scale)
         base_ctx = bundle.make_context()
 
-    if args.fault_plan:
+    if args.workers > 0:
+        # Fault wrappers cannot cross the process boundary; the pool
+        # soak's chaos is the worker SIGKILL.
+        plan = None
+    elif args.fault_plan:
         plan = FaultPlan.from_json(args.fault_plan)
     elif args.chaos:
         # Default chaos mix: transient oracle faults and GUI latency
@@ -422,6 +450,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         cap_entry_budget=args.cap_budget,
         time_scale=args.time_scale,
         lock_monitor=not args.no_lock_monitor,
+        workers=args.workers,
+        kill_worker_after=args.kill_worker_after,
     )
     payload = report.to_dict()
     payload["workload"] = {
@@ -610,6 +640,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="default per-session Run-phase budget",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes sharing the graph/PML zero-copy "
+        "(0 = today's in-process threaded path)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist session checkpoints here (restores survive process "
+        "restarts; the pool defaults to a private temp dir)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     soak = sub.add_parser(
@@ -666,6 +711,15 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the report JSON here (e.g. BENCH_soak.json)",
+    )
+    soak.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="soak the worker-pool backend instead of the threaded manager",
+    )
+    soak.add_argument(
+        "--kill-worker-after", type=float, default=None, metavar="SECONDS",
+        help="SIGKILL one seeded-random worker this long into the soak "
+        "(requires --workers)",
     )
     soak.set_defaults(func=_cmd_soak)
 

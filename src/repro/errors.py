@@ -44,6 +44,9 @@ __all__ = [
     "ServiceTimeoutError",
     "CheckpointError",
     "ProtocolError",
+    "WorkerPoolError",
+    "WorkerDiedError",
+    "RelayedError",
     "AnalysisError",
     "LintUsageError",
     "LockOrderViolationError",
@@ -372,6 +375,55 @@ class CheckpointError(ServiceError):
 
 class ProtocolError(ServiceError, ValueError):
     """Raised for malformed wire requests (bad JSON, unknown op, ...)."""
+
+
+class WorkerPoolError(ServiceError):
+    """Raised for worker-pool configuration and lifecycle failures.
+
+    Covers misconfiguration (zero workers, an oracle the pool cannot
+    publish over shared memory) and dispatcher-side contract breaches
+    (dispatching into a closed pool).
+    """
+
+    code = "worker_pool"
+
+
+class WorkerDiedError(WorkerPoolError):
+    """Raised when a request was in flight on a worker that died.
+
+    Transient by contract: the dispatcher respawns the worker and
+    requeues its sessions onto healthy processes from their disk
+    checkpoints, so a retry normally lands on the restored session.
+    Clients holding a :class:`~repro.resilience.RetryPolicy` retry it
+    like an overload shed.
+    """
+
+    code = "worker_died"
+
+    def __init__(self, worker: int, detail: str = "") -> None:
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"worker {worker} died with a request in flight{suffix}")
+        self.worker = worker
+
+
+class RelayedError(ServiceError):
+    """A typed worker-side failure rehydrated in the dispatcher.
+
+    Worker processes report failures over the control pipe as the v1
+    error payload plus the stable v2 code (exceptions themselves are not
+    pickled — custom ``__init__`` signatures make that fragile).  The
+    dispatcher wraps that structure in this carrier; the wire protocol
+    renders it in either dialect exactly as if the original exception
+    had been raised in-process (see :func:`repro.service.protocol.error_code`).
+    """
+
+    def __init__(
+        self, code: str, payload: dict, retryable: bool = False
+    ) -> None:
+        super().__init__(str(payload.get("message", code)))
+        self.code = code
+        self.payload = dict(payload)
+        self.retryable = retryable
 
 
 # --------------------------------------------------------------------------

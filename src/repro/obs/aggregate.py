@@ -1,0 +1,129 @@
+"""Cross-process metrics aggregation for the worker pool.
+
+A :class:`~repro.obs.metrics.MetricsRegistry` is deliberately
+process-wide — its lock-free hot paths are the whole point — so a
+:mod:`repro.service.pool` deployment has N+1 of them: one per worker
+process plus the dispatcher's own.  The wire ``metrics`` verb must keep
+returning *one* coherent registry view, so the dispatcher pulls each
+worker's :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` over the
+control pipe and folds them here.
+
+Merge semantics, by series shape:
+
+* **counters / gauges** (plain numbers) — summed.  Counters sum by
+  definition; the gauges this codebase exports (open sessions, cache
+  residency) are extensive quantities, so their sum is the fleet value.
+* **histograms** (``{count, sum, buckets}`` dicts) — element-wise sums:
+  bucket-by-``le`` counts, total count, total sum.  Quantile estimates
+  computed from the merged buckets are exactly as accurate as on a
+  single process.
+
+Series keys carry their labels (``name{k="v"}``), so identical
+instruments from different workers land on the same key and sum, while
+per-worker labels (if a caller adds any) stay distinct.
+
+:func:`render_merged_text` re-emits a merged snapshot in the Prometheus
+text exposition format.  Snapshots do not carry the instrument kind, so
+it is inferred from the value shape and the repo's R4 naming convention
+(histogram = dict value, counter = ``*_total``, gauge otherwise) —
+exactly the convention boomerlint enforces on every instrument name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Mapping
+
+__all__ = ["merge_snapshots", "render_merged_text"]
+
+_KEY_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{.*\})?$")
+
+
+def _series_name(key: str) -> str:
+    """The bare metric name of a ``name{label="v"}`` series key."""
+    match = _KEY_RE.match(key)
+    return match.group("name") if match else key
+
+
+def _merge_histogram(into: dict[str, Any], value: Mapping[str, Any]) -> None:
+    into["count"] = into.get("count", 0) + value.get("count", 0)
+    into["sum"] = into.get("sum", 0.0) + value.get("sum", 0.0)
+    buckets = into.setdefault("buckets", {})
+    for le, cum in value.get("buckets", {}).items():
+        buckets[le] = buckets.get(le, 0) + cum
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, Any]]
+) -> dict[str, Any]:
+    """Fold N registry snapshots into one (see module docstring)."""
+    merged: dict[str, Any] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if isinstance(value, Mapping):
+                slot = merged.setdefault(key, {})
+                if isinstance(slot, dict):
+                    _merge_histogram(slot, value)
+                # A kind collision (number vs histogram under one key)
+                # cannot happen between registries built from this
+                # codebase: the registry itself rejects it per process.
+            else:
+                prior = merged.get(key, 0)
+                merged[key] = (prior if isinstance(prior, (int, float)) else 0) + value
+    return {key: merged[key] for key in sorted(merged)}
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, (int, float)) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _with_label(key: str, extra: str) -> str:
+    """Splice ``extra`` (``k="v"``) into a series key's label set."""
+    if key.endswith("}"):
+        return f"{key[:-1]},{extra}}}"
+    return f"{key}{{{extra}}}"
+
+
+def _suffixed(key: str, suffix: str) -> str:
+    """``name{labels}`` -> ``name<suffix>{labels}``."""
+    match = _KEY_RE.match(key)
+    if match is None:
+        return key + suffix
+    name, labels = match.group("name"), match.group("labels") or ""
+    return f"{name}{suffix}{labels}"
+
+
+def render_merged_text(merged: Mapping[str, Any]) -> str:
+    """Prometheus text exposition of a merged snapshot.
+
+    Kind is inferred (module docstring); ``# TYPE`` is emitted once per
+    metric name, series grouped under it like the single-process
+    :meth:`~repro.obs.metrics.MetricsRegistry.render_text`.
+    """
+    by_name: dict[str, list[tuple[str, Any]]] = {}
+    for key in sorted(merged):
+        by_name.setdefault(_series_name(key), []).append((key, merged[key]))
+    lines: list[str] = []
+    for name, group in sorted(by_name.items()):
+        value0 = group[0][1]
+        if isinstance(value0, Mapping):
+            kind = "histogram"
+        elif name.endswith("_total"):
+            kind = "counter"
+        else:
+            kind = "gauge"
+        lines.append(f"# TYPE {name} {kind}")
+        for key, value in group:
+            if isinstance(value, Mapping):
+                for le, cum in value.get("buckets", {}).items():
+                    bucket_key = _with_label(
+                        _suffixed(key, "_bucket"), f'le="{le}"'
+                    )
+                    lines.append(f"{bucket_key} {cum}")
+                lines.append(f"{_suffixed(key, '_sum')} {_fmt(value.get('sum', 0.0))}")
+                lines.append(f"{_suffixed(key, '_count')} {value.get('count', 0)}")
+            else:
+                lines.append(f"{key} {_fmt(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

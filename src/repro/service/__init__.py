@@ -26,7 +26,13 @@ PML oracle.  This package is that layer:
 * :class:`SessionCheckpoint` / :class:`CheckpointStore` — eviction and
   drain capture the session (action log + virtual timeline + limits) so
   it resumes by id with byte-identical subsequent matches; CAP entries
-  are rebuilt warm by the scheduler (deferral neutrality).
+  are rebuilt warm by the scheduler (deferral neutrality).  The store
+  optionally writes through to disk, which is what lets restore survive
+  a worker *process* dying, not just in-memory eviction.
+* :class:`LocalDispatcher` / :class:`PoolDispatcher` — the server's
+  backend seam: the former is the in-process threaded path, the latter
+  fans sessions out across N worker processes sharing the engine basis
+  zero-copy (``repro serve --workers N``; see :mod:`repro.service.pool`).
 
 Layering: ``service`` sits *above* ``gui``/``core`` — it imports them,
 never the reverse.  Everything below the manager is unchanged BOOMER; the
@@ -36,8 +42,10 @@ deferral-neutrality invariant is what makes cross-session scheduling safe
 
 from repro.service.checkpoint import CheckpointStore, SessionCheckpoint
 from repro.service.client import ServiceClient
+from repro.service.dispatch import LocalDispatcher
 from repro.service.manager import ManagerStats, SessionManager
 from repro.service.overload import OverloadPolicy
+from repro.service.pool import PoolDispatcher
 from repro.service.protocol import PROTOCOL_VERSION, canonical_matches
 from repro.service.scheduler import IdleScheduler
 from repro.service.server import QueryServer
@@ -51,6 +59,8 @@ __all__ = [
     "ManagerStats",
     "QueryServer",
     "ServiceClient",
+    "LocalDispatcher",
+    "PoolDispatcher",
     "OverloadPolicy",
     "SessionCheckpoint",
     "CheckpointStore",

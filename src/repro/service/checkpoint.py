@@ -35,6 +35,8 @@ session with the scheduler under its original id.
 from __future__ import annotations
 
 import json
+import os
+import re
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
@@ -303,6 +305,14 @@ def restore_session(
 # --------------------------------------------------------------------------
 # The store
 # --------------------------------------------------------------------------
+#: Session ids safe to use verbatim as checkpoint file stems.  Anything
+#: else (ids are client-supplied on ``restore``) skips the disk tier
+#: rather than risking a path escape.
+_SAFE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,128}$")
+
+_CKPT_SUFFIX = ".ckpt.json"
+
+
 class CheckpointStore:
     """Bounded, thread-safe holding pen for evicted/drained sessions.
 
@@ -310,38 +320,135 @@ class CheckpointStore:
     checkpoint is dropped (and counted), mirroring the manager's bounded
     evicted-id memory — a session evicted long ago eventually becomes
     unrestorable, and the client falls back to recreate-and-replay.
+
+    With ``directory`` set the store is **write-through to disk**: every
+    ``put`` also lands as ``<session_id>.ckpt.json`` (written to a temp
+    file then atomically renamed, so readers never observe a torn
+    checkpoint), and ``get``/``pop`` fall back to disk on a memory miss.
+    That is what lets session restore survive a worker *process* dying:
+    a respawned worker — or a different healthy worker the dispatcher
+    requeues the session onto — opens a fresh store over the same
+    directory and finds every checkpoint its predecessor wrote.  The
+    in-memory capacity bound does **not** evict disk files; disk is the
+    durable tier, bounded only by explicit ``pop``/``clear_disk``.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, directory: str | None = None) -> None:
         if capacity < 1:
             raise CheckpointError("checkpoint store capacity must be >= 1")
         self.capacity = capacity
+        self.directory = directory
         self._lock = threading.Lock()
         self._checkpoints: OrderedDict[str, SessionCheckpoint] = OrderedDict()
         self.stored_total = 0
         self.dropped_total = 0
+        self.disk_writes_total = 0
+        self.disk_hits_total = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
 
+    # -- disk tier -------------------------------------------------------
+    def _path_for(self, session_id: str) -> str | None:
+        if self.directory is None or not _SAFE_ID_RE.match(session_id):
+            return None
+        return os.path.join(self.directory, session_id + _CKPT_SUFFIX)
+
+    def _write_disk(self, checkpoint: SessionCheckpoint) -> None:
+        path = self._path_for(checkpoint.session_id)
+        if path is None:
+            return
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(checkpoint.to_json())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self.disk_writes_total += 1
+
+    def _read_disk(self, session_id: str) -> SessionCheckpoint | None:
+        path = self._path_for(session_id)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        try:
+            checkpoint = SessionCheckpoint.from_json(text)
+        except CheckpointError:
+            # A corrupt file is unrestorable; leave it for forensics but
+            # report a miss so the client falls back to recreate.
+            return None
+        self.disk_hits_total += 1
+        return checkpoint
+
+    def _remove_disk(self, session_id: str) -> None:
+        path = self._path_for(session_id)
+        if path is None:
+            return
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def _disk_ids(self) -> list[str]:
+        if self.directory is None:
+            return []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [
+            name[: -len(_CKPT_SUFFIX)]
+            for name in names
+            if name.endswith(_CKPT_SUFFIX)
+        ]
+
+    # -- store API -------------------------------------------------------
     def put(self, checkpoint: SessionCheckpoint) -> None:
         with self._lock:
             self._checkpoints.pop(checkpoint.session_id, None)
             self._checkpoints[checkpoint.session_id] = checkpoint
             self.stored_total += 1
             while len(self._checkpoints) > self.capacity:
+                # Memory-tier eviction only; the disk copy (if any)
+                # keeps the session restorable.
                 self._checkpoints.popitem(last=False)
                 self.dropped_total += 1
+            self._write_disk(checkpoint)
 
     def pop(self, session_id: str) -> SessionCheckpoint | None:
         """Remove and return the checkpoint for ``session_id`` (or None)."""
         with self._lock:
-            return self._checkpoints.pop(session_id, None)
+            checkpoint = self._checkpoints.pop(session_id, None)
+            if checkpoint is None:
+                checkpoint = self._read_disk(session_id)
+            self._remove_disk(session_id)
+            return checkpoint
 
     def get(self, session_id: str) -> SessionCheckpoint | None:
         with self._lock:
-            return self._checkpoints.get(session_id)
+            checkpoint = self._checkpoints.get(session_id)
+            if checkpoint is None:
+                checkpoint = self._read_disk(session_id)
+            return checkpoint
 
     def ids(self) -> list[str]:
         with self._lock:
-            return list(self._checkpoints)
+            known = dict.fromkeys(self._checkpoints)
+            for session_id in self._disk_ids():
+                known.setdefault(session_id, None)
+            return list(known)
+
+    def clear_disk(self) -> int:
+        """Delete every on-disk checkpoint; returns how many were removed."""
+        with self._lock:
+            removed = 0
+            for session_id in self._disk_ids():
+                self._remove_disk(session_id)
+                removed += 1
+            return removed
 
     def __len__(self) -> int:
         with self._lock:
@@ -354,4 +461,7 @@ class CheckpointStore:
                 "capacity": self.capacity,
                 "stored_total": self.stored_total,
                 "dropped_total": self.dropped_total,
+                "on_disk": len(self._disk_ids()),
+                "disk_writes_total": self.disk_writes_total,
+                "disk_hits_total": self.disk_hits_total,
             }

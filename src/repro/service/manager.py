@@ -114,6 +114,9 @@ class SessionManager:
         default_limits: SessionLimits | None = None,
         overload: OverloadPolicy | None = None,
         checkpoint_capacity: int = 256,
+        checkpoint_dir: str | None = None,
+        checkpoint_on_mutate: bool = False,
+        session_prefix: str = "s",
     ) -> None:
         if max_sessions < 1:
             raise AdmissionError("max_sessions must be at least 1")
@@ -126,7 +129,16 @@ class SessionManager:
         self.overload = overload
         #: Verdict builder for drain refusals even when shedding is off.
         self._shed_policy = overload or OverloadPolicy()
-        self.checkpoints = CheckpointStore(capacity=checkpoint_capacity)
+        self.checkpoints = CheckpointStore(
+            capacity=checkpoint_capacity, directory=checkpoint_dir
+        )
+        #: Write-through mode: checkpoint after every successful mutating
+        #: op, so a SIGKILL'd worker process loses at most the request it
+        #: was servicing (which the client retries).  Used by the pool.
+        self.checkpoint_on_mutate = checkpoint_on_mutate
+        #: Session-id namespace — worker ``k`` of a pool uses ``w{k}s``
+        #: so ids never collide across the fleet's managers.
+        self.session_prefix = session_prefix
         self.scheduler = IdleScheduler()
         self.stats_counters = ManagerStats()
         self._lock = threading.RLock()
@@ -152,14 +164,26 @@ class SessionManager:
         with self._lock:
             return self._inflight
 
-    def _shed(self, reason: str, detail: str) -> None:
-        """Refuse work with the typed retryable verdict (and count it)."""
+    def _shed(self, reason: str, detail: str, admission: bool = False) -> None:
+        """Refuse work with the typed retryable verdict (and count it).
+
+        ``admission=True`` marks sheds that refused a *session admission*
+        (create/restore past a watermark): those also count as
+        ``admission_rejections``, so overload refusals no longer bypass
+        the admission counter and read 0 under load.
+        """
         self.stats_counters.requests_shed += 1
         metrics.counter(
             "repro_requests_shed_total",
             "requests refused by backpressure",
             reason=reason,
         ).inc()
+        if admission:
+            self.stats_counters.admission_rejections += 1
+            metrics.counter(
+                "repro_admission_rejections_total",
+                "session creations refused for lack of budget",
+            ).inc()
         raise self._shed_policy.shed(reason, detail)
 
     @contextmanager
@@ -244,6 +268,7 @@ class SessionManager:
                         "sessions",
                         f"{len(self._sessions)} open sessions "
                         f"(watermark {threshold}/{self.max_sessions})",
+                        admission=True,
                     )
                 cap_threshold = self.overload.cap_threshold(self.cap_entry_budget)
                 if cap_threshold is not None:
@@ -260,8 +285,9 @@ class SessionManager:
                             "cap",
                             f"{in_use} CAP entries in use "
                             f"(watermark {cap_threshold}/{self.cap_entry_budget})",
+                            admission=True,
                         )
-            session_id = f"s{next(self._id_counter)}"
+            session_id = f"{self.session_prefix}{next(self._id_counter)}"
             session = ManagedSession(session_id, self.base_ctx, limits)
             session.touch_seq = next(self._touch_counter)
             self._sessions[session_id] = session
@@ -273,7 +299,10 @@ class SessionManager:
             metrics.gauge(
                 "repro_sessions_open", "currently hosted sessions"
             ).set(len(self._sessions))
-            return session
+        if self.checkpoint_on_mutate:
+            with session.lock:
+                self._write_through(session)
+        return session
 
     def _build_limits(
         self,
@@ -317,6 +346,9 @@ class SessionManager:
         session = self.get(session_id)
         with session.lock:
             session.close()
+        if self.checkpoint_on_mutate:
+            # An explicitly closed session must not come back from disk.
+            self.checkpoints.pop(session_id)
         with self._lock:
             self._sessions.pop(session_id, None)
             self.scheduler.unregister(session_id)
@@ -337,6 +369,14 @@ class SessionManager:
                 # it must fall back to recreate-and-replay.
                 error.restorable = self.checkpoints.get(session_id) is not None
                 raise error
+        # Unknown to *this* process, but a disk checkpoint exists: the id
+        # belonged to a manager that died (worker SIGKILL) or was
+        # requeued here.  Evicted-and-restorable is the truthful verdict;
+        # the client's auto-restore path then resumes it transparently.
+        if self.checkpoints.get(session_id) is not None:
+            error = SessionEvictedError(session_id, "process restart")
+            error.restorable = True
+            raise error
         raise SessionNotFoundError(session_id)
 
     # -- request dispatch ------------------------------------------------
@@ -350,6 +390,8 @@ class SessionManager:
                     action,
                     idle_sink=lambda idle: self.scheduler.donate(session, idle),
                 )
+                if self.checkpoint_on_mutate:
+                    self._write_through(session)
             self._enforce_cap_budget(active=session_id)
             return report
 
@@ -365,6 +407,8 @@ class SessionManager:
                     with self._lock:
                         self.stats_counters.runs_failed += 1
                     raise
+                if self.checkpoint_on_mutate:
+                    self._write_through(session)
             with self._lock:
                 self.stats_counters.runs_completed += 1
                 if result.degraded:
@@ -495,6 +539,26 @@ class SessionManager:
             "sessions checkpointed at eviction or drain",
         ).inc()
 
+    def _write_through(self, session: ManagedSession) -> None:
+        """Checkpoint after a successful mutating op (caller holds the
+        session lock).
+
+        The capture happens *after* the op applied, so a crash mid-op
+        leaves the previous checkpoint intact — the failed request is not
+        in it, and the client's retry against the restored session is
+        exactly-once.  Terminal states simply skip (same contract as
+        eviction capture).
+        """
+        try:
+            checkpoint = _capture_checkpoint(session, "write-through")
+        except CheckpointError:
+            return
+        self.checkpoints.put(checkpoint)
+        metrics.counter(
+            "repro_checkpoint_writethrough_total",
+            "write-through checkpoints taken after mutating ops",
+        ).inc()
+
     def restore_session(self, session_id: str) -> ManagedSession:
         """Resume an evicted/drained session by id from its checkpoint.
 
@@ -532,6 +596,7 @@ class SessionManager:
                     self._shed(
                         "sessions",
                         f"no session slot free to restore {session_id!r}",
+                        admission=True,
                     )
                 session.touch_seq = next(self._touch_counter)
                 self._sessions[session_id] = session
@@ -545,6 +610,12 @@ class SessionManager:
                 metrics.gauge(
                     "repro_sessions_open", "currently hosted sessions"
                 ).set(len(self._sessions))
+            if self.checkpoint_on_mutate:
+                # ``pop`` consumed the stored checkpoint; re-arm so the
+                # restored session survives another process death even
+                # if no further mutation ever lands.
+                with session.lock:
+                    self._write_through(session)
             self._enforce_cap_budget(active=session_id)
             return session
 

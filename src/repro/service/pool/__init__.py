@@ -1,0 +1,44 @@
+"""Multi-process worker pool: the service past the GIL ceiling.
+
+The threaded :class:`~repro.service.manager.SessionManager` tops out at
+one core — BENCH_service.json's collapse from ~169 sessions/s at 1
+concurrent session to ~10/s at 32 is the GIL, not the engine.  This
+package splits the service into a **dispatcher** (socket front end +
+routing, still threads) and **N worker processes**, each running the
+unchanged single-process stack over a shared, zero-copy engine basis:
+
+* :mod:`repro.service.pool.shm` — publish/attach of the immutable CSR
+  graph and finalized PML label arrays via
+  ``multiprocessing.shared_memory``;
+* :mod:`repro.service.pool.worker` — the child-process entry point (one
+  manager + :class:`~repro.service.dispatch.LocalDispatcher` behind a
+  pipe);
+* :mod:`repro.service.pool.dispatcher` — :class:`PoolDispatcher`, the
+  :class:`~repro.service.server.QueryServer` backend: sticky routing,
+  metrics/stats fan-out, and worker-death repair (respawn + checkpoint
+  requeue).
+
+``repro serve --workers N`` selects this backend; ``--workers 0`` keeps
+the in-process threaded path bit-for-bit.
+"""
+
+from repro.service.pool.dispatcher import PoolDispatcher
+from repro.service.pool.shm import (
+    SharedContextSpec,
+    SharedPML,
+    attach_context,
+    publish_context,
+    unlink_segments,
+)
+from repro.service.pool.worker import WorkerConfig, worker_main
+
+__all__ = [
+    "PoolDispatcher",
+    "SharedContextSpec",
+    "SharedPML",
+    "attach_context",
+    "publish_context",
+    "unlink_segments",
+    "WorkerConfig",
+    "worker_main",
+]

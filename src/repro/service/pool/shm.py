@@ -1,0 +1,288 @@
+"""Zero-copy engine-basis publication over ``multiprocessing.shared_memory``.
+
+The expensive, immutable part of an :class:`~repro.core.context.EngineContext`
+is a handful of flat numpy arrays: the CSR graph (``offsets``/``neighbors``),
+the finalized PML label CSR (``label_offsets``/``ranks``/``dists`` plus the
+landmark ``order``), and the two-hop counts.  The dispatcher **publishes**
+each array once into a named ``SharedMemory`` segment and hands every worker
+a small picklable :class:`SharedContextSpec` (segment names + dtypes +
+shapes + the scalar leftovers: labels, cost-model constants).  A worker
+**attaches** lazily on its first real request: mapping the segments costs
+page-table entries, not copies, so per-worker memory for the basis is ~zero
+regardless of N.
+
+Two deliberate asymmetries:
+
+* **Ownership.** Only the publisher unlinks.  Attaching processes must also
+  tell *their* ``resource_tracker`` to forget the segment — CPython
+  registers every ``SharedMemory(name=...)`` attach for leak-tracking and
+  would otherwise *destroy* the shared segments when the first worker
+  exits, yanking the graph out from under its siblings (bpo-39959).
+* **Label lists, not arrays.**  PML's scalar hot path wants per-vertex
+  Python lists; materializing all of them per worker would undo the
+  zero-copy win.  :class:`SharedPML` keeps the CSR arrays shared and wraps
+  them in :class:`_LazyLabels`, which materializes a vertex's scalar list
+  on first touch and caches it — workers pay only for their sessions' hot
+  set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core.context import EngineContext
+from repro.core.cost import CostModel
+from repro.errors import WorkerPoolError
+from repro.graph.graph import Graph
+from repro.indexing.pml import PrunedLandmarkLabeling
+
+__all__ = [
+    "SharedContextSpec",
+    "SharedPML",
+    "publish_context",
+    "attach_context",
+    "unlink_segments",
+]
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """One published array: where it lives and how to view it."""
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedContextSpec:
+    """Everything a worker needs to rebuild the engine basis, picklable.
+
+    The arrays travel by *name* (shared segments); only the scalars — the
+    per-vertex label list, graph name, cost-model constants — travel by
+    value in the spawn pickle.
+    """
+
+    graph_name: str
+    labels: tuple
+    arrays: dict[str, _ArraySpec] = field(default_factory=dict)
+    cost_model: dict[str, float] = field(default_factory=dict)
+    avg_label: float = 0.0
+    scan_override: str | None = None
+    batch_enabled: bool = True
+
+    def segment_names(self) -> list[str]:
+        return [spec.segment for spec in self.arrays.values()]
+
+
+class _LazyLabels:
+    """Sequence view of per-vertex label columns over the shared CSR.
+
+    ``labels[v]`` materializes ``column[offsets[v]:offsets[v+1]]`` as a
+    plain Python list on first access and caches it — the tight scalar
+    merge join keeps its list-of-ints speed, but a worker only ever pays
+    for the vertices its sessions actually touch.
+    """
+
+    __slots__ = ("_offsets", "_column", "_cache")
+
+    def __init__(self, offsets: np.ndarray, column: np.ndarray) -> None:
+        self._offsets = offsets
+        self._column = column
+        self._cache: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, v: int) -> list[int]:
+        hit = self._cache.get(v)
+        if hit is None:
+            start, end = int(self._offsets[v]), int(self._offsets[v + 1])
+            hit = self._column[start:end].tolist()
+            self._cache[v] = hit
+        return hit
+
+
+class SharedPML(PrunedLandmarkLabeling):
+    """A PML index whose backing arrays live in shared memory.
+
+    Built via ``__new__`` from already-finalized CSR arrays — never by
+    :meth:`~repro.indexing.pml.PrunedLandmarkLabeling.build`.  Query
+    behavior is bit-identical to the original index (same arrays, same
+    kernels); only storage differs, so the label-size introspection
+    reads the shared offsets instead of walking materialized lists.
+    """
+
+    @classmethod
+    def from_shared(
+        cls,
+        graph: Graph,
+        label_offsets: np.ndarray,
+        label_ranks_arr: np.ndarray,
+        label_dists_arr: np.ndarray,
+        order: np.ndarray,
+        avg_label: float,
+    ) -> "SharedPML":
+        pml = cls.__new__(cls)
+        pml._graph = graph
+        pml._order = order
+        pml.query_count = 0
+        pml._label_offsets = label_offsets
+        pml._label_ranks_arr = label_ranks_arr
+        pml._label_dists_arr = label_dists_arr
+        pml._avg_label = avg_label
+        pml._label_ranks = _LazyLabels(label_offsets, label_ranks_arr)
+        pml._label_dists = _LazyLabels(label_offsets, label_dists_arr)
+        return pml
+
+    def label_size(self, v: int) -> int:
+        self._graph._check_vertex(v)
+        return int(self._label_offsets[v + 1] - self._label_offsets[v])
+
+    def total_label_entries(self) -> int:
+        return int(self._label_offsets[-1])
+
+
+# --------------------------------------------------------------------------
+# Publish (dispatcher side)
+# --------------------------------------------------------------------------
+def _publish_array(
+    arr: np.ndarray, segments: list[shared_memory.SharedMemory]
+) -> _ArraySpec:
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    segments.append(shm)
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return _ArraySpec(segment=shm.name, dtype=str(arr.dtype), shape=arr.shape)
+
+
+def publish_context(
+    ctx: EngineContext,
+) -> tuple[SharedContextSpec, list[shared_memory.SharedMemory]]:
+    """Publish ``ctx``'s immutable basis; returns (spec, owned segments).
+
+    The caller owns the returned segments: keep them referenced for the
+    pool's lifetime, then :func:`unlink_segments` exactly once.  Requires
+    a PML oracle (the pool shares *finalized label arrays*; a BFS oracle
+    has no frozen index to share).
+    """
+    oracle = ctx.oracle
+    if not isinstance(oracle, PrunedLandmarkLabeling):
+        raise WorkerPoolError(
+            f"worker pool requires a PML oracle to publish; got "
+            f"{type(oracle).__name__}"
+        )
+    if not hasattr(oracle, "_label_offsets"):
+        oracle._finalize_labels()
+    offsets, neighbors = ctx.graph.raw_csr()
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        arrays = {
+            "graph_offsets": _publish_array(offsets, segments),
+            "graph_neighbors": _publish_array(neighbors, segments),
+            "pml_offsets": _publish_array(oracle._label_offsets, segments),
+            "pml_ranks": _publish_array(oracle._label_ranks_arr, segments),
+            "pml_dists": _publish_array(oracle._label_dists_arr, segments),
+            "pml_order": _publish_array(np.asarray(oracle._order), segments),
+            "two_hop": _publish_array(np.asarray(ctx.two_hop), segments),
+        }
+    except Exception:
+        unlink_segments(segments)
+        raise
+    cost = ctx.cost_model
+    spec = SharedContextSpec(
+        graph_name=ctx.graph.name,
+        labels=tuple(ctx.graph.labels()),
+        arrays=arrays,
+        cost_model={
+            "t_avg": cost.t_avg,
+            "t_lat": cost.t_lat,
+            "mean_degree": cost.mean_degree,
+            "mean_two_hop": cost.mean_two_hop,
+        },
+        avg_label=float(oracle._avg_label),
+        scan_override=ctx.scan_override,
+        batch_enabled=ctx.batch_enabled,
+    )
+    return spec, segments
+
+
+def unlink_segments(segments: list[shared_memory.SharedMemory]) -> None:
+    """Close and destroy published segments (publisher side, idempotent)."""
+    for shm in segments:
+        try:
+            shm.close()
+        except OSError:
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+# --------------------------------------------------------------------------
+# Attach (worker side)
+# --------------------------------------------------------------------------
+def _attach_array(
+    spec: _ArraySpec, attached: list[shared_memory.SharedMemory]
+) -> np.ndarray:
+    # CPython registers every attach with the resource_tracker, which the
+    # spawned workers *share* with the publisher — so a worker's attach
+    # registration (and the automatic cleanup it implies) would fight the
+    # publisher's ownership: the tracker would unlink segments while
+    # siblings still map them, or double-book the name (bpo-39959).
+    # Suppress registration for the attach: only the publisher owns the
+    # segment's lifetime.
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=spec.segment)
+    finally:
+        resource_tracker.register = original_register
+    attached.append(shm)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    return view
+
+
+def attach_context(
+    spec: SharedContextSpec,
+) -> tuple[EngineContext, list[shared_memory.SharedMemory]]:
+    """Rebuild a full :class:`EngineContext` over the published segments.
+
+    Returns the context plus the attached handles — the caller must keep
+    them referenced as long as the context lives (the numpy views borrow
+    their buffers) and ``close()`` (never ``unlink()``) them at exit.
+    """
+    attached: list[shared_memory.SharedMemory] = []
+    views = {
+        name: _attach_array(arr_spec, attached)
+        for name, arr_spec in spec.arrays.items()
+    }
+    graph = Graph(
+        offsets=views["graph_offsets"],
+        neighbors=views["graph_neighbors"],
+        labels=list(spec.labels),
+        name=spec.graph_name,
+    )
+    pml = SharedPML.from_shared(
+        graph,
+        label_offsets=views["pml_offsets"],
+        label_ranks_arr=views["pml_ranks"],
+        label_dists_arr=views["pml_dists"],
+        order=views["pml_order"],
+        avg_label=spec.avg_label,
+    )
+    ctx = EngineContext(
+        graph=graph,
+        oracle=pml,
+        two_hop=views["two_hop"],
+        cost_model=CostModel(**spec.cost_model),
+        scan_override=spec.scan_override,
+        batch_enabled=spec.batch_enabled,
+    )
+    return ctx, attached

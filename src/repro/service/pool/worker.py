@@ -1,0 +1,172 @@
+"""Worker-process entry point: one manager, one pipe, shared basis.
+
+A worker is deliberately just today's single-process service stack —
+:class:`~repro.service.manager.SessionManager` behind a
+:class:`~repro.service.dispatch.LocalDispatcher` — re-hosted behind a
+duplex pipe instead of a socket.  Everything the threaded path guarantees
+(per-session locking, IdleScheduler idle donation, overload shedding,
+drain semantics) holds verbatim *inside* each worker; the pool only adds
+process boundaries between groups of sessions.
+
+Wire format on the pipe (picklable tuples):
+
+* parent → worker: ``("req", seq, request)`` — one decoded wire request;
+  ``("drain", seq, timeout)`` — graceful drain; ``("exit", seq)`` — stop.
+* worker → parent: ``("ok", seq, result)`` or ``("err", seq, verdict)``
+  where ``verdict`` is ``{"code", "retryable", "payload"}`` built by
+  :func:`~repro.service.protocol.error_code` /
+  :func:`~repro.service.protocol.error_payload` — exceptions cross the
+  boundary as *data*, not pickles (exception ``__init__`` signatures are
+  fragile across versions), and rehydrate dispatcher-side as
+  :class:`~repro.errors.RelayedError` so clients see identical codes and
+  retry hints with ``--workers 0`` and ``--workers N``.
+
+Requests run on their own thread (the pipe reader never blocks on engine
+compute), replies are serialized by a send lock.  The shared basis is
+attached **lazily on the first request** — spawning N workers costs N
+interpreter startups, not N graph copies.
+
+Distinct per-process state that stays local by design: the action logs and
+IdleScheduler warm state of this worker's sessions (sticky routing keeps
+a session here for life), the process-wide
+:data:`~repro.indexing.batch.shared_distance_cache`, and the metrics
+registry (snapshots flow back over the pipe via the ``metrics`` op and are
+merged by :mod:`repro.obs.aggregate`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.service.pool.shm import SharedContextSpec, attach_context
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Picklable per-worker manager configuration (spawn-shipped)."""
+
+    max_sessions: int = 64
+    cap_entry_budget: int | None = 1_000_000
+    default_limits: Any = None  # SessionLimits | None
+    overload: Any = None  # OverloadPolicy | None
+    checkpoint_capacity: int = 256
+    #: Shared across the fleet: where write-through checkpoints land, and
+    #: where a replacement worker finds its predecessor's sessions.
+    checkpoint_dir: str | None = None
+    #: Write-through checkpointing is what makes SIGKILL survivable; the
+    #: pool leaves it on.  (Off reproduces eviction/drain-only capture.)
+    checkpoint_on_mutate: bool = True
+
+
+def _error_verdict(exc: BaseException) -> dict[str, Any]:
+    """Serialize a failure as plain data for the pipe."""
+    from repro.service import protocol
+
+    payload = protocol.error_payload(exc)
+    return {
+        "code": protocol.error_code(exc),
+        "retryable": bool(payload.get("retryable", False)),
+        "payload": payload,
+    }
+
+
+def worker_main(
+    index: int | str, spec: SharedContextSpec, config: WorkerConfig, conn: Any
+) -> None:
+    """Run one worker until ``exit`` (or the dispatcher's pipe closes)."""
+    from repro.service.dispatch import LocalDispatcher
+    from repro.service.manager import SessionManager
+
+    send_lock = threading.Lock()
+    attached: list[Any] = []
+    dispatcher: LocalDispatcher | None = None
+    init_lock = threading.Lock()
+
+    def _send(message: tuple) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):  # dispatcher died; we follow
+                raise SystemExit(0)
+
+    def _backend() -> LocalDispatcher:
+        nonlocal dispatcher
+        with init_lock:
+            if dispatcher is None:
+                ctx, handles = attach_context(spec)
+                attached.extend(handles)
+                manager = SessionManager(
+                    ctx,
+                    max_sessions=config.max_sessions,
+                    cap_entry_budget=config.cap_entry_budget,
+                    default_limits=config.default_limits,
+                    overload=config.overload,
+                    checkpoint_capacity=config.checkpoint_capacity,
+                    checkpoint_dir=config.checkpoint_dir,
+                    checkpoint_on_mutate=config.checkpoint_on_mutate,
+                    session_prefix=f"w{index}s",
+                )
+                dispatcher = LocalDispatcher(manager)
+        return dispatcher
+
+    def _handle(seq: int, request: dict[str, Any]) -> None:
+        try:
+            result = _backend().dispatch(request)
+        except Exception as exc:
+            _send(("err", seq, _error_verdict(exc)))
+            return
+        _send(("ok", seq, result))
+
+    def _drain(seq: int, timeout: float | None) -> None:
+        try:
+            summary = (
+                _backend().drain(timeout=timeout)
+                if dispatcher is not None
+                else {"checkpointed": [], "busy": [], "inflight_at_timeout": 0}
+            )
+        except Exception as exc:
+            _send(("err", seq, _error_verdict(exc)))
+            return
+        _send(("ok", seq, summary))
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # dispatcher went away
+            kind = message[0]
+            if kind == "req":
+                _, seq, request = message
+                threading.Thread(
+                    target=_handle,
+                    args=(seq, request),
+                    name=f"repro-worker{index}-req{seq}",
+                    daemon=True,
+                ).start()
+            elif kind == "drain":
+                _, seq, timeout = message
+                threading.Thread(
+                    target=_drain,
+                    args=(seq, timeout),
+                    name=f"repro-worker{index}-drain",
+                    daemon=True,
+                ).start()
+            elif kind == "exit":
+                _, seq = message
+                _send(("ok", seq, {"exited": index}))
+                return
+    finally:
+        for shm in attached:
+            try:
+                shm.close()  # close our mapping only; publisher unlinks
+            except OSError:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass

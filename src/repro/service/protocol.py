@@ -52,12 +52,15 @@ from repro.errors import (
     DeadlineExceededError,
     DegradedModeError,
     ProtocolError,
+    RelayedError,
     ReproError,
     RetryExhaustedError,
     ServiceOverloadedError,
     SessionError,
     SessionEvictedError,
     SessionNotFoundError,
+    WorkerDiedError,
+    WorkerPoolError,
 )
 from repro.gui.recording import action_from_dict, action_to_dict
 
@@ -110,7 +113,12 @@ OPS = (
 #: everything else is a caller bug or a terminal server verdict.
 #: :class:`ServiceOverloadedError` is the backpressure verdict — retry
 #: after its ``retry_after_ms`` hint and the shed normally clears.
-_RETRYABLE = (SessionEvictedError, AdmissionError, ServiceOverloadedError)
+_RETRYABLE = (
+    SessionEvictedError,
+    AdmissionError,
+    ServiceOverloadedError,
+    WorkerDiedError,
+)
 
 #: Stable v2 error codes by exception type — what client programs switch
 #: on (exception class names are an implementation detail carried in
@@ -121,6 +129,8 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
     (SessionEvictedError, "session_evicted"),
     (ServiceOverloadedError, "overloaded"),
     (CheckpointError, "checkpoint_invalid"),
+    (WorkerDiedError, "worker_died"),
+    (WorkerPoolError, "worker_pool"),
     (AdmissionError, "admission_refused"),
     (DeadlineExceededError, "deadline_exceeded"),
     (DegradedModeError, "degraded_mode"),
@@ -133,11 +143,32 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
 
 
 def error_code(exc: BaseException) -> str:
-    """The stable v2 ``code`` for an exception (``internal_error`` fallback)."""
+    """The stable v2 ``code`` for an exception (``internal_error`` fallback).
+
+    A :class:`~repro.errors.RelayedError` — a worker-side failure
+    rehydrated by the pool dispatcher — passes its original code through
+    unchanged, so clients see identical codes with ``--workers 0`` and
+    ``--workers N``.
+    """
+    if isinstance(exc, RelayedError):
+        return exc.code
     for cls, code in ERROR_CODES:
         if isinstance(exc, cls):
             return code
     return "internal_error"
+
+
+def error_retryable(exc: BaseException) -> bool:
+    """Whether a client may retry after this failure.
+
+    A :class:`~repro.errors.RelayedError` carries the worker-side
+    verdict through verbatim — an ``overloaded`` shed must read
+    retryable with ``--workers N`` exactly as it does with
+    ``--workers 0``.
+    """
+    if isinstance(exc, RelayedError):
+        return bool(exc.retryable)
+    return isinstance(exc, _RETRYABLE)
 
 
 def canonical_matches(matches) -> list[list[list[int]]]:
@@ -243,7 +274,7 @@ def error_response(version: int, req_id: Any, exc: BaseException) -> dict[str, A
             "error": {
                 "code": error_code(exc),
                 "message": str(exc),
-                "retryable": isinstance(exc, _RETRYABLE),
+                "retryable": error_retryable(exc),
                 "details": details,
             },
         }
@@ -280,11 +311,17 @@ def action_payload(action: Action) -> dict[str, Any]:
 
 def error_payload(exc: BaseException) -> dict[str, Any]:
     """The ``error`` object of a failure response."""
+    if isinstance(exc, RelayedError):
+        # Worker-side failure: re-emit the exact payload the worker
+        # built, bit-compatible with the in-process path.
+        return dict(exc.payload)
     payload: dict[str, Any] = {
         "type": type(exc).__name__,
         "message": str(exc),
-        "retryable": isinstance(exc, _RETRYABLE),
+        "retryable": error_retryable(exc),
     }
+    if isinstance(exc, WorkerDiedError):
+        payload["worker"] = exc.worker
     if isinstance(exc, DeadlineExceededError):
         payload["deadline_context"] = exc.context
     if isinstance(exc, (SessionNotFoundError, SessionEvictedError)):

@@ -26,10 +26,10 @@ import socketserver
 import threading
 from typing import Any
 
-from repro.errors import ProtocolError, ReproError
 from repro.obs import clock
 from repro.obs.metrics import metrics
 from repro.service import protocol
+from repro.service.dispatch import LocalDispatcher
 from repro.service.manager import SessionManager
 
 __all__ = ["QueryServer"]
@@ -71,12 +71,20 @@ class QueryServer:
 
     def __init__(
         self,
-        manager: SessionManager,
+        manager: SessionManager | Any,
         host: str = "127.0.0.1",
         port: int = 0,
         drain_timeout: float | None = 5.0,
     ) -> None:
-        self.manager = manager
+        if isinstance(manager, SessionManager):
+            #: The in-process path: today's threaded manager, verbatim.
+            self.backend = LocalDispatcher(manager)
+            self.manager: SessionManager | None = manager
+        else:
+            # Any backend implementing the dispatch/drain/close seam
+            # (repro.service.dispatch) — notably the worker pool.
+            self.backend = manager
+            self.manager = getattr(manager, "manager", None)
         #: How long :meth:`stop` waits for in-flight requests to retire
         #: before checkpointing idle sessions (None = wait forever).
         self.drain_timeout = drain_timeout
@@ -145,10 +153,12 @@ class QueryServer:
             first = not self._stopped
             self._stopped = True
             self._shutdown_requested.set()
-            if first and drain:
-                self._drain_summary = self.manager.drain(
-                    timeout=self.drain_timeout
-                )
+            if first:
+                if drain:
+                    self._drain_summary = self.backend.drain(
+                        timeout=self.drain_timeout
+                    )
+                self.backend.close()
             with self._lifecycle:
                 if self._serving:
                     # Safe even if the accept loop is not in its while
@@ -185,7 +195,7 @@ class QueryServer:
             op = request["op"]
             version = protocol.request_version(request)
             req_id = protocol.request_id(request)
-            result = self._dispatch(request)
+            result = self.backend.dispatch(request)
         except Exception as exc:
             # ReproError: typed service verdicts. Anything else: an engine
             # bug — still reported, the server stays up.
@@ -219,77 +229,3 @@ class QueryServer:
             "service-side latency per wire verb",
             op=op,
         ).observe(clock.now() - started)
-
-    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
-        op = request["op"]
-        manager = self.manager
-        if op == "ping":
-            return {
-                "pong": True,
-                "protocol": protocol.PROTOCOL_VERSION,
-                "supported_protocols": list(protocol.SUPPORTED_VERSIONS),
-                "graph": manager.base_ctx.graph.name,
-            }
-        if op == "create_session":
-            session = manager.create_session(
-                strategy=request.get("strategy"),
-                pruning=request.get("pruning"),
-                max_results=request.get("max_results"),
-                resilience=request.get("resilience"),
-                deadline_seconds=request.get("deadline_seconds"),
-                trace=request.get("trace"),
-            )
-            return {"session": session.id, "strategy": session.limits.strategy}
-        if op == "metrics":
-            if request.get("format") == "text":
-                return {"text": metrics.render_text()}
-            return {"metrics": metrics.snapshot()}
-        if op == "stats":
-            session_id = request.get("session")
-            if session_id is None:
-                return manager.stats()
-            session = manager.get(str(session_id))
-            with session.lock:
-                return session.stats()
-        if op == "shutdown":
-            return {"stopping": True}
-
-        # Everything else addresses one session.
-        session_id = request.get("session")
-        if not isinstance(session_id, str):
-            raise ProtocolError(f"op {op!r} requires a 'session' string")
-        if op == "restore_session":
-            session = manager.restore_session(session_id)
-            return {
-                "session": session.id,
-                "state": session.state,
-                "strategy": session.limits.strategy,
-                "restored": True,
-            }
-        if op == "action":
-            report = manager.apply_action(
-                session_id, protocol.wire_action(request.get("action"))
-            )
-            return protocol.report_payload(report)
-        if op == "run":
-            result = manager.run(session_id)
-            session = manager.get(session_id)
-            return protocol.run_payload(result, session.backlog_seconds)
-        if op == "matches":
-            return {
-                "matches": protocol.canonical_matches(manager.matches(session_id))
-            }
-        if op == "results":
-            limit = request.get("limit")
-            subgraphs = manager.results(
-                session_id, limit=int(limit) if limit is not None else None
-            )
-            return {"results": [protocol.subgraph_payload(s) for s in subgraphs]}
-        if op == "trace":
-            return manager.trace(
-                session_id, include_open=bool(request.get("include_open", True))
-            )
-        if op == "close_session":
-            manager.close_session(session_id)
-            return {"closed": session_id}
-        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover

@@ -25,11 +25,25 @@ Wall-clock use is confined to think-time sleeps (scaled by
 ``time_scale``) and latency measurement via :func:`repro.obs.clock.now`;
 all *behavior* derives from the workload seed, so a failing soak can be
 re-run with the same seed and fail the same way.
+
+With ``workers > 0`` the same traffic drives a
+:class:`~repro.service.PoolDispatcher` fleet instead of the threaded
+manager, and ``kill_worker_after`` SIGKILLs one seeded-chosen worker
+mid-traffic — the process-level analogue of the injected faults above.
+The fleet must absorb it: the dispatcher respawns the worker, requeues
+its sessions from disk checkpoints, clients retry transparently, and the
+post-soak restore verification replays every completed session's disk
+checkpoint through a *fresh threaded manager* — proving restore survives
+not just eviction but the death of the entire hosting process.
 """
 
 from __future__ import annotations
 
 import gc
+import os
+import shutil
+import signal
+import tempfile
 import threading
 import time
 import tracemalloc
@@ -47,6 +61,7 @@ from repro.service import (
 from repro.service import protocol
 from repro.service.client import RemoteServiceError
 from repro.soak.slo import SLO, SoakReport, percentile
+from repro.utils.rng import seeded_rng
 from repro.workload.traffic import SessionScript, SoakWorkloadConfig, generate_soak_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -145,6 +160,25 @@ def _drive_user(
                 pass
 
 
+def _count_leaked_segments(names: list[str]) -> int:
+    """How many published shm segments survived pool close (want: zero)."""
+    from multiprocessing import shared_memory
+
+    leaked = 0
+    for name in names:
+        try:
+            handle = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        leaked += 1
+        try:  # count it, then clean up so the leak doesn't outlive us
+            handle.close()
+            handle.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    return leaked
+
+
 def run_soak(
     ctx: "EngineContext",
     workload: SoakWorkloadConfig,
@@ -160,6 +194,8 @@ def run_soak(
     lock_monitor: bool = True,
     verify_restore: bool = True,
     join_timeout: float = 120.0,
+    workers: int = 0,
+    kill_worker_after: float | None = None,
 ) -> SoakReport:
     """Run one complete chaos soak; returns the scored report."""
     slo = slo or SLO()
@@ -169,6 +205,14 @@ def run_soak(
     retry_policy = retry_policy or RetryPolicy(
         max_attempts=5, base_delay=0.01, backoff=2.0, max_delay=0.25
     )
+    if workers > 0 and fault_plan is not None:
+        # Fault wrappers are in-process monkey-business around the oracle;
+        # they neither pickle across spawn nor publish as shared arrays.
+        # The pool soak's chaos is the worker SIGKILL.
+        raise ValueError(
+            "fault_plan is process-local and cannot cross the worker "
+            "boundary; pool soaks inject chaos via kill_worker_after"
+        )
     if fault_plan is not None:
         ctx = fault_plan.wrap_context(ctx)
 
@@ -194,14 +238,58 @@ def run_soak(
     memory_before, _ = tracemalloc.get_traced_memory()
     soak_began = clock.now()
 
+    report.workers = workers
+    pool = None
+    pool_stats: dict[str, object] = {}
+    killed_pids: list[int] = []
+    kill_timer: threading.Timer | None = None
+    ckpt_dir: str | None = None
+    segment_names: list[str] = []
+
     with monitor_ctx:
-        manager = SessionManager(
-            ctx,
-            max_sessions=max_sessions,
-            cap_entry_budget=cap_entry_budget,
-            overload=overload,
-        )
-        server = QueryServer(manager, host="127.0.0.1", port=0).start()
+        manager: SessionManager | None = None
+        if workers > 0:
+            from repro.service.pool import PoolDispatcher
+
+            # The harness owns the checkpoint directory so it outlives the
+            # pool: post-soak restore verification reads it with a fresh
+            # threaded manager after every worker process is gone.
+            ckpt_dir = tempfile.mkdtemp(prefix="repro-soak-ckpt-")
+            pool = PoolDispatcher(
+                ctx,
+                workers=workers,
+                max_sessions=max_sessions,
+                cap_entry_budget=cap_entry_budget,
+                overload=overload,
+                checkpoint_dir=ckpt_dir,
+            )
+            segment_names = pool.segment_names()
+            backend: object = pool
+        else:
+            manager = SessionManager(
+                ctx,
+                max_sessions=max_sessions,
+                cap_entry_budget=cap_entry_budget,
+                overload=overload,
+            )
+            backend = manager
+        server = QueryServer(backend, host="127.0.0.1", port=0).start()
+        if pool is not None and kill_worker_after is not None:
+
+            def _kill_one_worker() -> None:
+                pids = pool.worker_pids()
+                if not pids:  # pragma: no cover - fleet already gone
+                    return
+                index = seeded_rng(workload.seed).choice(sorted(pids))
+                try:
+                    os.kill(pids[index], signal.SIGKILL)
+                except (ProcessLookupError, OSError):  # pragma: no cover
+                    return
+                killed_pids.append(pids[index])
+
+            kill_timer = threading.Timer(kill_worker_after, _kill_one_worker)
+            kill_timer.daemon = True
+            kill_timer.start()
         try:
             threads = [
                 threading.Thread(
@@ -232,11 +320,72 @@ def run_soak(
                     f"timeout: {stuck[:3]}"
                 )
         finally:
-            report.drain_summary = server.stop(drain=True) or {}
+            if kill_timer is not None:
+                kill_timer.cancel()
+            if pool is not None:
+                # Drain and harvest aggregated stats while the workers are
+                # still alive, then stop without re-draining: stop()'s
+                # close() tears the fleet (and its stats) down.
+                try:
+                    report.drain_summary = (
+                        pool.drain(timeout=server.drain_timeout) or {}
+                    )
+                except Exception as exc:  # noqa: BLE001 - chaos is data
+                    state.unexpected.append(
+                        f"pool drain failed: {type(exc).__name__}: {exc}"
+                    )
+                try:
+                    pool_stats = pool.dispatch({"op": "stats"})
+                except Exception as exc:  # noqa: BLE001 - chaos is data
+                    state.unexpected.append(
+                        f"pool stats failed: {type(exc).__name__}: {exc}"
+                    )
+                server.stop(drain=False)
+            else:
+                report.drain_summary = server.stop(drain=True) or {}
 
-        report.leaked_sessions = len(manager.session_ids())
+        if pool is not None:
+            # Sessions drain could not checkpoint are the pool's leaks.
+            busy = report.drain_summary.get("busy", [])
+            report.leaked_sessions = len(busy) if isinstance(busy, list) else 0
+            report.leaked_shm_segments = _count_leaked_segments(segment_names)
+        else:
+            assert manager is not None
+            report.leaked_sessions = len(manager.session_ids())
 
-        if verify_restore:
+        if verify_restore and pool is not None:
+            # Every worker process is dead; the only surviving state is
+            # the write-through checkpoint directory.  Restoring through a
+            # *fresh* threaded manager over that directory is the
+            # strongest form of the invariant: byte-identical matches
+            # across a full process generation.
+            verifier = SessionManager(
+                ctx,
+                max_sessions=max_sessions,
+                cap_entry_budget=None,
+                checkpoint_dir=ckpt_dir,
+            )
+            for sid, recorded in sorted(state.completed.items()):
+                checkpoint = verifier.checkpoints.get(sid)
+                if checkpoint is None or checkpoint.state != "ran":
+                    continue
+                try:
+                    verifier.restore_session(sid)
+                    again = protocol.canonical_matches(verifier.matches(sid))
+                except ReproError as exc:
+                    report.restore_mismatches += 1
+                    state.unexpected.append(
+                        f"restore of {sid} failed: {type(exc).__name__}: {exc}"
+                    )
+                    continue
+                if again != recorded:
+                    report.restore_mismatches += 1
+                try:
+                    verifier.close_session(sid)
+                except ReproError:  # pragma: no cover - teardown
+                    pass
+        elif verify_restore:
+            assert manager is not None
             # Resume every checkpointed completed session and demand the
             # exact bytes its original run produced — the wire-level
             # statement of deferral neutrality.
@@ -262,7 +411,6 @@ def run_soak(
     if not was_tracing:
         tracemalloc.stop()
 
-    counters = manager.stats_counters
     report.sessions_started = state.started
     report.sessions_abandoned = state.abandoned
     report.runs_completed = len(state.run_latencies)
@@ -276,11 +424,40 @@ def run_soak(
     }
     report.typed_errors = dict(state.typed_errors)
     report.unexpected_errors = list(state.unexpected)
-    report.requests_shed = counters.requests_shed
     report.unresolved_sheds = state.unresolved_sheds
-    report.sessions_evicted = counters.sessions_evicted
-    report.sessions_checkpointed = counters.sessions_checkpointed
-    report.sessions_restored = counters.sessions_restored
+    if pool is not None:
+        # Counters come from the aggregated wire ``stats`` harvested just
+        # before teardown (fleet-wide sums + the dispatcher's pool block).
+        def _stat(name: str) -> int:
+            value = pool_stats.get(name, 0)
+            return int(value) if isinstance(value, (int, float)) else 0
+
+        report.requests_shed = _stat("requests_shed")
+        report.sessions_evicted = _stat("sessions_evicted")
+        report.sessions_checkpointed = _stat("sessions_checkpointed")
+        report.sessions_restored = _stat("sessions_restored")
+        report.workers_killed = len(killed_pids)
+        pool_block = pool_stats.get("pool")
+        if isinstance(pool_block, dict):
+            report.worker_deaths = int(pool_block.get("worker_deaths", 0))
+            report.workers_respawned = int(
+                pool_block.get("workers_respawned", 0)
+            )
+            report.sessions_requeued = int(
+                pool_block.get("sessions_requeued", 0)
+            )
+            report.requeue_failures = int(
+                pool_block.get("requeue_failures", 0)
+            )
+        if ckpt_dir is not None:
+            shutil.rmtree(ckpt_dir, ignore_errors=True)
+    else:
+        assert manager is not None
+        counters = manager.stats_counters
+        report.requests_shed = counters.requests_shed
+        report.sessions_evicted = counters.sessions_evicted
+        report.sessions_checkpointed = counters.sessions_checkpointed
+        report.sessions_restored = counters.sessions_restored
     report.memory_growth_mib = max(0.0, memory_after - memory_before) / (
         1024.0 * 1024.0
     )

@@ -42,6 +42,10 @@ class SLO:
     max_memory_growth_mib: float = 256.0
     #: The soak must actually exercise the engine to mean anything.
     min_completed_runs: int = 1
+    #: Pool mode only: shared-memory segments alive after close.
+    max_leaked_shm_segments: int = 0
+    #: Pool mode only: sessions a worker death orphaned for good.
+    max_requeue_failures: int = 0
 
     def check(self, report: "SoakReport") -> list[str]:
         """Every SLO clause ``report`` violates (empty = pass)."""
@@ -87,6 +91,23 @@ class SLO:
                 f"only {report.runs_completed} run(s) completed "
                 f"(need >= {self.min_completed_runs})"
             )
+        if report.leaked_shm_segments > self.max_leaked_shm_segments:
+            violations.append(
+                f"{report.leaked_shm_segments} shared-memory segment(s) "
+                f"leaked past pool close "
+                f"(allowed {self.max_leaked_shm_segments})"
+            )
+        if report.requeue_failures > self.max_requeue_failures:
+            violations.append(
+                f"{report.requeue_failures} session(s) could not be "
+                f"requeued after a worker death "
+                f"(allowed {self.max_requeue_failures})"
+            )
+        if report.workers_killed and not report.workers_respawned:
+            violations.append(
+                f"{report.workers_killed} worker(s) killed but none "
+                "respawned — the resilience ladder did not engage"
+            )
         if report.unexpected_errors:
             violations.append(
                 f"{len(report.unexpected_errors)} untyped client "
@@ -105,6 +126,8 @@ class SLO:
             "max_restore_mismatches": self.max_restore_mismatches,
             "max_memory_growth_mib": self.max_memory_growth_mib,
             "min_completed_runs": self.min_completed_runs,
+            "max_leaked_shm_segments": self.max_leaked_shm_segments,
+            "max_requeue_failures": self.max_requeue_failures,
         }
 
 
@@ -136,6 +159,15 @@ class SoakReport:
     drain_summary: dict[str, object] = field(default_factory=dict)
     leaked_sessions: int = 0
 
+    # -- worker pool (zero in threaded soaks) ----------------------------
+    workers: int = 0
+    workers_killed: int = 0
+    worker_deaths: int = 0
+    workers_respawned: int = 0
+    sessions_requeued: int = 0
+    requeue_failures: int = 0
+    leaked_shm_segments: int = 0
+
     # -- resource health -------------------------------------------------
     memory_growth_mib: float = 0.0
     lock_inversions: int = 0
@@ -164,6 +196,13 @@ class SoakReport:
             "restore_mismatches": self.restore_mismatches,
             "drain_summary": dict(self.drain_summary),
             "leaked_sessions": self.leaked_sessions,
+            "workers": self.workers,
+            "workers_killed": self.workers_killed,
+            "worker_deaths": self.worker_deaths,
+            "workers_respawned": self.workers_respawned,
+            "sessions_requeued": self.sessions_requeued,
+            "requeue_failures": self.requeue_failures,
+            "leaked_shm_segments": self.leaked_shm_segments,
             "memory_growth_mib": self.memory_growth_mib,
             "lock_inversions": self.lock_inversions,
             "wall_seconds": self.wall_seconds,

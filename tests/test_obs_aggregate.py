@@ -1,0 +1,92 @@
+"""Cross-process metrics merging (the pool's ``metrics`` verb backend)."""
+
+from __future__ import annotations
+
+from repro.obs.aggregate import merge_snapshots, render_merged_text
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        merged = merge_snapshots(
+            [
+                {"repro_runs_total": 3, "repro_sessions_open": 2},
+                {"repro_runs_total": 4, "repro_sessions_open": 1},
+                {"repro_runs_total": 1},
+            ]
+        )
+        assert merged["repro_runs_total"] == 8
+        assert merged["repro_sessions_open"] == 3
+
+    def test_labeled_series_stay_distinct(self):
+        merged = merge_snapshots(
+            [
+                {'repro_requests_total{op="run"}': 2},
+                {'repro_requests_total{op="run"}': 3},
+                {'repro_requests_total{op="matches"}': 5},
+            ]
+        )
+        assert merged['repro_requests_total{op="run"}'] == 5
+        assert merged['repro_requests_total{op="matches"}'] == 5
+
+    def test_histograms_merge_element_wise(self):
+        h1 = {"count": 2, "sum": 0.3, "buckets": {"0.1": 1, "1.0": 2, "+Inf": 2}}
+        h2 = {"count": 1, "sum": 0.05, "buckets": {"0.1": 1, "1.0": 1, "+Inf": 1}}
+        merged = merge_snapshots(
+            [{"repro_latency_seconds": h1}, {"repro_latency_seconds": h2}]
+        )
+        out = merged["repro_latency_seconds"]
+        assert out["count"] == 3
+        assert out["sum"] == 0.35
+        assert out["buckets"] == {"0.1": 2, "1.0": 3, "+Inf": 3}
+
+    def test_merge_of_real_registries(self):
+        """Two live registries merge exactly as their snapshots suggest."""
+        regs = [MetricsRegistry(), MetricsRegistry()]
+        for i, reg in enumerate(regs):
+            reg.counter("repro_ticks_total", "ticks").inc(i + 1)
+            reg.histogram("repro_wait_seconds", "waits").observe(0.01 * (i + 1))
+        merged = merge_snapshots(reg.snapshot() for reg in regs)
+        assert merged["repro_ticks_total"] == 3
+        assert merged["repro_wait_seconds"]["count"] == 2
+
+    def test_keys_sorted(self):
+        merged = merge_snapshots([{"b_total": 1, "a_total": 2}])
+        assert list(merged) == ["a_total", "b_total"]
+
+
+class TestRenderMergedText:
+    def test_kind_inference(self):
+        text = render_merged_text(
+            {
+                "repro_runs_total": 7,
+                "repro_sessions_open": 2,
+                "repro_lat_seconds": {
+                    "count": 1,
+                    "sum": 0.5,
+                    "buckets": {"1.0": 1, "+Inf": 1},
+                },
+            }
+        )
+        assert "# TYPE repro_runs_total counter" in text
+        assert "# TYPE repro_sessions_open gauge" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+        assert 'repro_lat_seconds_bucket{le="1.0"} 1' in text
+        assert "repro_lat_seconds_sum 0.5" in text
+        assert "repro_lat_seconds_count 1" in text
+
+    def test_labels_splice_into_bucket_lines(self):
+        text = render_merged_text(
+            {
+                'repro_req_seconds{op="run"}': {
+                    "count": 2,
+                    "sum": 1.0,
+                    "buckets": {"+Inf": 2},
+                }
+            }
+        )
+        assert 'repro_req_seconds_bucket{op="run",le="+Inf"} 2' in text
+        assert 'repro_req_seconds_sum{op="run"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_merged_text({}) == ""

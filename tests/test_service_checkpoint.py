@@ -242,3 +242,85 @@ class TestRestoreOverTheWire:
                 client.action(sid, FIG2_ACTIONS[1])
             assert info.value.code == "session_evicted"
             assert info.value.payload["details"]["restorable"] is True
+
+
+class TestDiskTier:
+    """Write-through persistence: restore survives a process restart."""
+
+    def _checkpoint(self, fig2_ctx):
+        manager = SessionManager(fig2_ctx)
+        return checkpoint_session(formulate(manager, "off"), "test")
+
+    def test_put_writes_through_and_new_store_reads_back(self, fig2_ctx, tmp_path):
+        first = CheckpointStore(capacity=4, directory=str(tmp_path))
+        checkpoint = self._checkpoint(fig2_ctx)
+        first.put(checkpoint)
+        assert (tmp_path / f"{checkpoint.session_id}.ckpt.json").exists()
+
+        # A fresh store over the same directory — the respawned worker.
+        second = CheckpointStore(capacity=4, directory=str(tmp_path))
+        assert len(second) == 0  # nothing in memory...
+        loaded = second.get(checkpoint.session_id)  # ...but disk delivers
+        assert loaded == checkpoint
+        assert second.stats()["disk_hits_total"] == 1
+        assert checkpoint.session_id in second.ids()
+
+    def test_pop_deletes_the_file(self, fig2_ctx, tmp_path):
+        store = CheckpointStore(capacity=4, directory=str(tmp_path))
+        checkpoint = self._checkpoint(fig2_ctx)
+        store.put(checkpoint)
+        path = tmp_path / f"{checkpoint.session_id}.ckpt.json"
+        assert path.exists()
+        assert store.pop(checkpoint.session_id) == checkpoint
+        assert not path.exists()
+        assert store.pop(checkpoint.session_id) is None
+
+    def test_memory_eviction_keeps_disk_copy(self, fig2_ctx, tmp_path):
+        manager = SessionManager(fig2_ctx, max_sessions=8)
+        store = CheckpointStore(capacity=1, directory=str(tmp_path))
+        older = checkpoint_session(formulate(manager, "off"), "test")
+        newer = checkpoint_session(formulate(manager, "off"), "test")
+        store.put(older)
+        store.put(newer)  # bumps `older` out of the memory tier
+        assert len(store) == 1
+        assert store.get(older.session_id) == older  # disk fallback
+        assert store.stats()["on_disk"] == 2
+
+    def test_corrupt_file_reads_as_miss(self, fig2_ctx, tmp_path):
+        store = CheckpointStore(capacity=4, directory=str(tmp_path))
+        (tmp_path / "s77.ckpt.json").write_text("{not json", encoding="utf-8")
+        assert store.get("s77") is None
+        assert store.stats()["disk_hits_total"] == 0
+
+    def test_unsafe_ids_skip_the_disk_tier(self, fig2_ctx, tmp_path):
+        from dataclasses import replace
+
+        store = CheckpointStore(capacity=4, directory=str(tmp_path))
+        hostile = replace(self._checkpoint(fig2_ctx), session_id="../escape")
+        store.put(hostile)
+        # Held in memory, but no file anywhere — least of all outside.
+        assert store.get("../escape") == hostile
+        assert list(tmp_path.iterdir()) == []
+        assert not (tmp_path.parent / "escape.ckpt.json").exists()
+
+    def test_manager_restart_restores_byte_identical(self, fig2_ctx, tmp_path):
+        """The worker-pool contract, minus the pool: survive a restart."""
+        before = SessionManager(
+            fig2_ctx,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_on_mutate=True,
+        )
+        session = formulate(before, "default")
+        before.run(session.id)
+        expected = canonical_matches(before.matches(session.id))
+        assert expected
+
+        # "Restart": a brand-new manager over the same directory; the old
+        # one is simply dropped, exactly like a SIGKILLed worker.
+        after = SessionManager(fig2_ctx, checkpoint_dir=str(tmp_path))
+        with pytest.raises(SessionEvictedError) as info:
+            after.get(session.id)
+        assert info.value.restorable is True
+        restored = after.restore_session(session.id)
+        assert restored.state == "ran"
+        assert canonical_matches(after.matches(session.id)) == expected

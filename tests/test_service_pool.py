@@ -1,0 +1,234 @@
+"""Worker pool: sticky routing, zero-copy sharing, death/requeue, parity.
+
+The pool's acceptance bar is the threaded path's, verbatim: identical
+matches, identical error codes, identical restore semantics — plus the
+process-level guarantees only it makes (respawn after SIGKILL, requeue
+from disk checkpoints, no leaked shared-memory segments).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.errors import RelayedError, WorkerPoolError
+from repro.service import LocalDispatcher, PoolDispatcher, SessionManager
+from repro.service import protocol
+from repro.service.pool import attach_context, publish_context, unlink_segments
+
+FIG2_WIRE_ACTIONS = [
+    {"kind": "NewVertex", "vertex_id": 0, "label": "A"},
+    {"kind": "NewVertex", "vertex_id": 1, "label": "B"},
+    {"kind": "NewEdge", "u": 0, "v": 1, "lower": 1, "upper": 1},
+    {"kind": "NewVertex", "vertex_id": 2, "label": "C"},
+    {"kind": "NewEdge", "u": 1, "v": 2, "lower": 1, "upper": 2},
+    {"kind": "NewEdge", "u": 0, "v": 2, "lower": 1, "upper": 3},
+]
+
+
+def formulate_and_run(backend, sid):
+    for action in FIG2_WIRE_ACTIONS:
+        backend.dispatch({"op": "action", "session": sid, "action": action})
+    backend.dispatch({"op": "run", "session": sid})
+    return backend.dispatch({"op": "matches", "session": sid})["matches"]
+
+
+@pytest.fixture()
+def pool(fig2_ctx):
+    dispatcher = PoolDispatcher(fig2_ctx, workers=2, max_sessions=8)
+    yield dispatcher
+    dispatcher.close()
+
+
+class TestSharedContext:
+    def test_publish_attach_round_trip(self, fig2_ctx):
+        """An attached context answers exactly like the original."""
+        spec, segments = publish_context(fig2_ctx)
+        try:
+            shared_ctx, attached = attach_context(spec)
+            try:
+                graph = shared_ctx.graph
+                assert graph.num_vertices == fig2_ctx.graph.num_vertices
+                assert graph.num_edges == fig2_ctx.graph.num_edges
+                assert list(graph.labels()) == list(fig2_ctx.graph.labels())
+                for u in range(graph.num_vertices):
+                    for v in range(graph.num_vertices):
+                        assert shared_ctx.oracle.distance(
+                            u, v
+                        ) == fig2_ctx.oracle.distance(u, v)
+                assert (
+                    shared_ctx.oracle.total_label_entries()
+                    == fig2_ctx.oracle.total_label_entries()
+                )
+            finally:
+                for handle in attached:
+                    handle.close()
+        finally:
+            unlink_segments(segments)
+
+    def test_publish_requires_pml(self, fig2_ctx):
+        from dataclasses import replace
+
+        class NotPML:
+            pass
+
+        with pytest.raises(WorkerPoolError):
+            publish_context(replace(fig2_ctx, oracle=NotPML()))
+
+    def test_no_segments_leak_after_close(self, fig2_ctx):
+        dispatcher = PoolDispatcher(fig2_ctx, workers=2, max_sessions=8)
+        names = dispatcher.segment_names()
+        assert names
+        dispatcher.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestStickyRouting:
+    def test_create_alternates_least_loaded(self, pool):
+        sids = [
+            pool.dispatch({"op": "create_session"})["session"]
+            for _ in range(4)
+        ]
+        assert [pool.session_worker(sid) for sid in sids] == [0, 1, 0, 1]
+        # The session id itself names its home worker.
+        assert sids[0].startswith("w0s") and sids[1].startswith("w1s")
+
+    def test_routing_is_sticky_across_ops(self, pool):
+        sid = pool.dispatch({"op": "create_session"})["session"]
+        home = pool.session_worker(sid)
+        formulate_and_run(pool, sid)
+        assert pool.session_worker(sid) == home
+        pool.dispatch({"op": "close_session", "session": sid})
+        assert pool.session_worker(sid) is None
+
+    def test_close_frees_the_slot(self, pool):
+        first = pool.dispatch({"op": "create_session"})["session"]
+        pool.dispatch({"op": "close_session", "session": first})
+        # Worker 0 is empty again, so the next create lands there.
+        again = pool.dispatch({"op": "create_session"})["session"]
+        assert pool.session_worker(again) == 0
+
+
+class TestParity:
+    def test_pool_matches_threaded_byte_identical(self, pool, fig2_ctx):
+        threaded = LocalDispatcher(SessionManager(fig2_ctx, max_sessions=8))
+        reference_sid = threaded.dispatch({"op": "create_session"})["session"]
+        reference = formulate_and_run(threaded, reference_sid)
+        assert reference  # non-vacuous: fig2 Q1 has matches
+
+        # Several sessions, spread across both workers — all identical.
+        for _ in range(3):
+            sid = pool.dispatch({"op": "create_session"})["session"]
+            assert formulate_and_run(pool, sid) == reference
+
+    def test_stats_aggregate_across_workers(self, pool):
+        for _ in range(4):
+            sid = pool.dispatch({"op": "create_session"})["session"]
+            formulate_and_run(pool, sid)
+        stats = pool.dispatch({"op": "stats"})
+        assert stats["sessions_created"] == 4
+        assert stats["runs_completed"] == 4
+        assert stats["open_sessions"] == 4
+        assert stats["pool"]["workers"] == 2
+        assert stats["pool"]["alive"] == 2
+        assert stats["pool"]["routed_sessions"] == 4
+
+    def test_metrics_merge_across_workers(self, pool):
+        sid = pool.dispatch({"op": "create_session"})["session"]
+        formulate_and_run(pool, sid)
+        snapshot = pool.dispatch({"op": "metrics"})["metrics"]
+        assert any(key.startswith("repro_") for key in snapshot)
+        text = pool.dispatch({"op": "metrics", "format": "text"})["text"]
+        assert "# TYPE" in text
+
+    def test_relayed_errors_keep_code_and_retryable(self, pool):
+        """A worker-side typed failure surfaces with its original verdict."""
+        with pytest.raises(RelayedError) as excinfo:
+            pool.dispatch({"op": "matches", "session": "w0s999"})
+        assert excinfo.value.code == "session_not_found"
+        assert protocol.error_code(excinfo.value) == "session_not_found"
+
+    def test_error_response_respects_relayed_retryable(self):
+        relayed = RelayedError(
+            "overloaded",
+            {
+                "type": "ServiceOverloadedError",
+                "message": "shed",
+                "retryable": True,
+                "retry_after_ms": 50,
+            },
+            retryable=True,
+        )
+        assert protocol.error_retryable(relayed) is True
+        response = protocol.error_response(2, "r1", relayed)
+        assert response["error"]["code"] == "overloaded"
+        assert response["error"]["retryable"] is True
+
+
+class TestWorkerDeath:
+    def _await_repair(self, pool, min_requeued=0, deadline_seconds=30.0):
+        deadline = time.monotonic() + deadline_seconds
+        while time.monotonic() < deadline:
+            stats = pool.dispatch({"op": "stats"})["pool"]
+            if (
+                stats["workers_respawned"] >= 1
+                and stats["alive"] == 2
+                and stats["sessions_requeued"] + stats["requeue_failures"]
+                >= min_requeued
+            ):
+                return stats
+            time.sleep(0.05)
+        raise AssertionError("pool did not repair within the deadline")
+
+    def test_sigkill_requeues_byte_identical(self, pool):
+        sid = pool.dispatch({"op": "create_session"})["session"]
+        before = formulate_and_run(pool, sid)
+        victim = pool.session_worker(sid)
+        os.kill(pool.worker_pids()[victim], signal.SIGKILL)
+
+        stats = self._await_repair(pool, min_requeued=1)
+        assert stats["worker_deaths"] == 1
+        assert stats["requeue_failures"] == 0
+        assert stats["sessions_requeued"] >= 1
+
+        # The session lives on — requeued from its disk checkpoint onto a
+        # healthy worker, answers unchanged (deferral neutrality across a
+        # process death).
+        after = pool.dispatch({"op": "matches", "session": sid})["matches"]
+        assert after == before
+        assert pool.session_worker(sid) is not None
+
+    def test_respawned_worker_ids_never_collide(self, pool):
+        first = pool.dispatch({"op": "create_session"})["session"]
+        formulate_and_run(pool, first)
+        victim = pool.session_worker(first)
+        os.kill(pool.worker_pids()[victim], signal.SIGKILL)
+        self._await_repair(pool)
+
+        # Fill both workers with fresh sessions: the respawned worker's
+        # generation tag keeps its fresh ids distinct from every id the
+        # dead predecessor handed out (which the requeue preserved).
+        seen = {first}
+        for _ in range(4):
+            sid = pool.dispatch({"op": "create_session"})["session"]
+            assert sid not in seen
+            seen.add(sid)
+
+
+class TestDrain:
+    def test_drain_checkpoints_fleet_wide(self, pool):
+        sids = [
+            pool.dispatch({"op": "create_session"})["session"]
+            for _ in range(3)
+        ]
+        for sid in sids:
+            formulate_and_run(pool, sid)
+        summary = pool.drain(timeout=10.0)
+        assert sorted(summary["checkpointed"]) == sorted(sids)
+        assert summary["busy"] == []
