@@ -28,6 +28,13 @@ R6     Lock discipline — no oracle/engine compute inside a
        ``with ..._lock:`` block in :mod:`repro.service` (the manager
        lock guards bookkeeping only; engine work belongs under the
        per-session lock).
+R7     Storage seam — the PML label-CSR internals
+       (``_label_offsets``/``_label_ranks_arr``/``_label_dists_arr``)
+       are only dereferenced inside :mod:`repro.indexing` and
+       :mod:`repro.storage`.  Everyone else goes through the
+       :class:`~repro.storage.basis.EngineBasis` API, so the arrays can
+       live on the heap, in shared memory, or in mmapped files without
+       callers noticing.
 =====  ====================================================================
 
 Rules are scoped by module key (see :func:`repro.analysis.engine.module_key`)
@@ -50,6 +57,7 @@ __all__ = [
     "MetricsSpanTaxonomyRule",
     "PublicApiRule",
     "LockDisciplineRule",
+    "StorageSeamRule",
 ]
 
 
@@ -496,3 +504,45 @@ class LockDisciplineRule(Rule):
                             "holding a manager-level _lock; move compute under "
                             "the per-session lock",
                         )
+
+
+# ----------------------------------------------------------------------
+# R7 — storage seam
+# ----------------------------------------------------------------------
+@register
+class StorageSeamRule(Rule):
+    """Direct pokes at the PML label-CSR arrays outside the storage seam.
+
+    :class:`~repro.storage.basis.EngineBasis` is the one API that may
+    assume where (and in what medium) the finalized label arrays live;
+    any other module dereferencing them couples itself to the resident
+    layout and silently breaks the shm/mmap backends.  Access through
+    ``self`` stays legal — a subclass owns its own internals.
+    """
+
+    id = "R7"
+    title = "PML label-CSR internals only touched in repro.indexing / repro.storage"
+
+    ALLOWED_PREFIXES = ("repro/indexing/", "repro/storage/")
+    #: The finalized label CSR: exactly the arrays every storage backend
+    #: must be free to relocate.
+    PRIVATE_ARRAYS = {"_label_offsets", "_label_ranks_arr", "_label_dists_arr"}
+
+    def check(self, module) -> Iterator[Violation]:
+        if module.key.startswith(self.ALLOWED_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in self.PRIVATE_ARRAYS:
+                continue
+            owner = node.value
+            if isinstance(owner, ast.Name) and owner.id == "self":
+                continue
+            yield self.violation(
+                module,
+                node,
+                f"direct access to PML internal '{node.attr}' outside "
+                "repro.indexing/repro.storage; go through the EngineBasis "
+                "seam (repro.storage.basis_from_context / context_from_basis)",
+            )

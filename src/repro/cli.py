@@ -54,10 +54,11 @@ registry from a *running* ``repro serve`` instance over the wire
 (Prometheus-style text by default, ``--format json`` for the snapshot).
 
 ``lint`` runs **boomerlint**, the codebase-aware static analyzer of
-:mod:`repro.analysis`: AST rules R1–R6 enforce this repo's determinism,
-error-taxonomy, oracle-contract, metrics/span-naming, public-API, and
-lock-discipline invariants (see docs/ANALYSIS.md).  Exits 0 when clean,
-1 with ``file:line:col: RULE message`` diagnostics otherwise.
+:mod:`repro.analysis`: AST rules R1–R7 enforce this repo's determinism,
+error-taxonomy, oracle-contract, metrics/span-naming, public-API,
+lock-discipline, and storage-seam invariants (see docs/ANALYSIS.md).
+Exits 0 when clean, 1 with ``file:line:col: RULE message`` diagnostics
+otherwise.
 
 Exit codes are distinct so scripts can branch on the outcome::
 
@@ -78,7 +79,12 @@ from repro.core.actions import Action, NewEdge, NewVertex, Run
 from repro.core.blender import Boomer
 from repro.core.preprocessor import make_context, preprocess
 from repro.core.ranking import RANKINGS, rank_results
-from repro.errors import DeadlineExceededError, QueryFileError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    QueryFileError,
+    ReproError,
+    StorageError,
+)
 from repro.faults import FaultPlan
 from repro.graph.generators import dblp_like, flickr_like, wordnet_like
 from repro.graph.io import load_edge_list, save_edge_list
@@ -105,6 +111,25 @@ _GENERATORS = {
     "dblp": dblp_like,
     "flickr": flickr_like,
 }
+
+
+def _parse_byte_budget(text: str) -> int:
+    """``"64M"`` / ``"2G"`` / plain integers -> bytes (for --storage-budget)."""
+    raw = text.strip().upper()
+    factor = 1
+    for suffix, mult in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if raw.endswith(suffix):
+            raw, factor = raw[: -len(suffix)], mult
+            break
+    try:
+        value = int(raw) * factor
+    except ValueError:
+        raise StorageError(
+            f"--storage-budget {text!r} is not BYTES or BYTES with K/M/G"
+        ) from None
+    if value <= 0:
+        raise StorageError("--storage-budget must be positive")
+    return value
 
 
 def parse_query_file(path: str | Path) -> list[Action]:
@@ -317,7 +342,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueryServer, SessionManager
     from repro.service.session import SessionLimits
 
-    if args.graph:
+    if args.storage != "mmap" and (args.storage_dir or args.storage_budget):
+        raise StorageError(
+            "--storage-dir/--storage-budget only apply to --storage mmap"
+        )
+    storage_budget = (
+        _parse_byte_budget(args.storage_budget) if args.storage_budget else None
+    )
+    storage_backend = None
+    if args.storage == "mmap" and args.storage_dir:
+        # A named dir already holding a valid saved basis serves as-is —
+        # no graph build, no PML construction.  This is how a
+        # materialize_basis()-produced paper-scale basis (or a previous
+        # run's --storage-dir) comes back up in milliseconds.
+        from repro.errors import BasisFormatError
+        from repro.storage import MmapBackend
+        from repro.storage.mmapstore import read_meta
+
+        try:
+            read_meta(args.storage_dir)
+        except BasisFormatError:
+            pass  # nothing saved there yet: build below, save into it
+        else:
+            storage_backend = MmapBackend(
+                args.storage_dir, budget_bytes=storage_budget
+            )
+            print(
+                f"opened saved basis '{storage_backend.basis.graph_name}' "
+                f"from {args.storage_dir}",
+                file=sys.stderr,
+            )
+
+    if storage_backend is not None:
+        base_ctx = storage_backend.context()
+    elif args.graph:
         graph = load_edge_list(args.graph)
         print(f"loaded {graph}", file=sys.stderr)
         pre = preprocess(graph, t_avg_samples=args.t_avg_samples)
@@ -329,6 +387,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         bundle = get_dataset(args.dataset, args.scale)
         print(bundle.pre.summary(), file=sys.stderr)
         base_ctx = bundle.make_context()
+
+    if args.storage == "mmap" and storage_backend is None and args.workers == 0:
+        # The threaded path owns its mmap basis directly (the pool
+        # dispatcher creates its own instead, so workers share it).
+        from repro.storage import basis_from_context, open_backend
+
+        storage_backend = open_backend(
+            "mmap",
+            basis=basis_from_context(base_ctx),
+            directory=args.storage_dir,
+            budget_bytes=storage_budget,
+        )
+        base_ctx = storage_backend.context()
 
     posture = getattr(args, "resilience", "off")
     default_resilience = None if posture == "off" else {
@@ -352,6 +423,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cap_entry_budget=args.cap_budget,
             default_limits=limits,
             checkpoint_dir=args.checkpoint_dir,
+            storage="mmap" if args.storage == "mmap" else "shm",
+            basis_dir=args.storage_dir,
+            storage_budget_bytes=storage_budget,
         )
     else:
         backend = SessionManager(
@@ -364,7 +438,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     server = QueryServer(backend, host=args.host, port=args.port)
     host, port = server.address
-    mode = f"{args.workers} workers" if args.workers > 0 else "threaded"
+    basis_kind = "mmap" if args.storage == "mmap" else (
+        "shm" if args.workers > 0 else "resident"
+    )
+    mode = (
+        f"{args.workers} workers" if args.workers > 0 else "threaded"
+    ) + f", {basis_kind} basis"
     # The banner line is a parsing contract (smoke tests, scripts): keep
     # it exactly `serving on host:port`; the mode goes to stderr.
     print(f"serving on {host}:{port}", flush=True)
@@ -380,6 +459,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except Exception:
             stats = {}
         server.stop()
+        if storage_backend is not None:
+            storage_backend.close()
         print(
             f"served {stats.get('sessions_created', 0)} sessions "
             f"({stats.get('runs_completed', 0)} runs, "
@@ -613,7 +694,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", choices=sorted(_GENERATORS), default=None,
         help="serve a registry dataset instead of a graph file",
     )
-    serve.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    serve.add_argument(
+        "--scale", default="tiny", metavar="SCALE",
+        help="dataset scale preset; validated by the registry, whose error "
+        "lists every registered preset (paper scale: docs/STORAGE.md)",
+    )
+    serve.add_argument(
+        "--storage",
+        choices=("resident", "mmap"),
+        default="resident",
+        help="engine-basis storage: resident arrays (default, bit-for-bit "
+        "today's behavior) or a demand-paged on-disk mmap basis; with "
+        "--workers N, mmap makes workers open the same npy files instead "
+        "of copying through shared memory (see docs/STORAGE.md)",
+    )
+    serve.add_argument(
+        "--storage-dir",
+        default=None,
+        metavar="DIR",
+        help="where the mmap basis lives (default: a private temp dir, "
+        "deleted on exit; a named dir is reused across restarts)",
+    )
+    serve.add_argument(
+        "--storage-budget",
+        default=None,
+        metavar="BYTES",
+        help="hot-tier byte budget for --storage mmap (suffixes K/M/G; "
+        "unset = unbounded hot tier)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=7474, help="0 picks a free port"
@@ -667,7 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", choices=sorted(_GENERATORS), default=None,
         help="soak a registry dataset instead of a graph file",
     )
-    soak.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    soak.add_argument(
+        "--scale", default="tiny", metavar="SCALE",
+        help="dataset scale preset (validated by the dataset registry)",
+    )
     soak.add_argument("--t-avg-samples", type=int, default=5000)
     soak.add_argument("--seed", type=int, default=0)
     soak.add_argument("--sessions", type=int, default=20)

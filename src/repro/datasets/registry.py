@@ -1,27 +1,40 @@
 """Dataset registry: seeded, cached emulations of the paper's datasets.
 
-Three datasets — ``wordnet``, ``dblp``, ``flickr`` — at two scales:
+Three datasets — ``wordnet``, ``dblp``, ``flickr`` — at the scales the
+presets below register (the :data:`SCALES` tuple is *derived* from the
+preset table, never hand-maintained):
 
 * ``tiny`` — seconds-fast builds for the test suite;
-* ``small`` — the default benchmark scale.
+* ``small`` — the default benchmark scale;
+* ``paper`` — the source paper's actual dimensions (currently Flickr,
+  1.8M vertices / ~23M edges / 3000 labels).  Paper-scale bundles are
+  built for the mmap storage backend: the basis is materialized once on
+  disk (:func:`materialize_basis`) and served demand-paged under a byte
+  budget — holding it fully resident is exactly what
+  :mod:`repro.storage` exists to avoid.
 
 Scaling rules (DESIGN.md, substitution table):
 
-* |V| shrinks to a few percent of the paper's datasets (pure-Python PML
-  cannot hold the originals interactively);
-* the label alphabet shrinks *with* |V| so that the per-label candidate-set
-  size |V_q| keeps its paper-relative magnitude — |V_q| (together with the
-  scaled GUI latency) is what the expensive-edge predicate of Def. 5.8
-  actually sees, so preserving it preserves which edges get deferred:
-  WordNet's noun level is enormous (always expensive), DBLP levels are
-  borderline (expensive at upper >= 3), Flickr levels are tiny (never
-  expensive);
+* |V| shrinks to a few percent of the paper's datasets at tiny/small
+  (pure-Python PML cannot build the originals interactively);
+* the label alphabet shrinks *with* |V| so that the per-label
+  candidate-set size |V_q| keeps its paper-relative magnitude — |V_q|
+  (together with the scaled GUI latency) is what the expensive-edge
+  predicate of Def. 5.8 actually sees, so preserving it preserves which
+  edges get deferred: WordNet's noun level is enormous (always
+  expensive), DBLP levels are borderline (expensive at upper >= 3),
+  Flickr levels are tiny (never expensive);
 * GUI latency constants shrink by ``latency_scale``, mirroring that
-  compute costs shrank with the graphs.
+  compute costs shrank with the graphs.  The paper preset keeps 1.0 —
+  nothing shrank.
 
 Preprocessing (PML + 2-hop counts + t_avg) is expensive enough to cache:
 an in-process memo plus an on-disk pickle cache (``~/.cache/repro-boomer``
-or ``$REPRO_CACHE_DIR``) keyed by the full configuration.
+or ``$REPRO_CACHE_DIR``) keyed by the full configuration.  Cache files
+are a versioned envelope ``{"version", "finalized", "pre"}`` — the
+``finalized`` flag persists that the PML label CSR in the pickle is
+already frozen, so loads (and mmap bases saved from them) never re-run
+:meth:`~repro.indexing.pml.PrunedLandmarkLabeling._finalize_labels`.
 """
 
 from __future__ import annotations
@@ -45,13 +58,11 @@ __all__ = [
     "SCALES",
     "dataset_config",
     "get_dataset",
+    "materialize_basis",
     "clear_memory_cache",
 ]
 
-DATASET_NAMES = ("wordnet", "dblp", "flickr")
-SCALES = ("tiny", "small")
-
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 _memory_cache: dict[tuple, "DatasetBundle"] = {}
 
 
@@ -65,48 +76,71 @@ class DatasetConfig:
     num_labels: int | None  # None = the generator's own labeling (wordnet)
     seed: int
     latency_scale: float
+    #: Target |E|/|V| override; None keeps the generator's default.  Only
+    #: the paper-scale Flickr preset sets it (the full ~12.8 ratio; the
+    #: reduced scales cap density at 8 to keep PML builds interactive).
+    edge_ratio: float | None = None
 
     @property
     def cache_key(self) -> str:
         """Stable string identifying this configuration on disk."""
+        ratio = "" if self.edge_ratio is None else f"-r{self.edge_ratio}"
         return (
             f"{self.name}-{self.scale}-n{self.num_vertices}"
-            f"-l{self.num_labels}-s{self.seed}-v{_CACHE_VERSION}"
+            f"-l{self.num_labels}-s{self.seed}{ratio}-v{_CACHE_VERSION}"
         )
 
 
-#: (name, scale) -> (num_vertices, num_labels, latency_scale).
+#: (name, scale) -> (num_vertices, num_labels, latency_scale, edge_ratio).
 #: Label counts follow the per-label-density rule explained in the module
 #: docstring; latency scales shrink t_lat so the expensive/inexpensive
 #: boundary lands on the same datasets as in the paper.
-_PRESETS: dict[tuple[str, str], tuple[int, int | None, float]] = {
-    ("wordnet", "tiny"): (350, None, 0.02),
+_PRESETS: dict[tuple[str, str], tuple[int, int | None, float, float | None]] = {
+    ("wordnet", "tiny"): (350, None, 0.02, None),
     # Latency scales are calibrated so that the expensive-edge cost /
     # formulation-time ratio lands in the paper's regime (their WordNet Q2:
     # ~347s of e1 work vs ~28s of QFT, ratio ~12).  Pure-Python compute on
     # the emulated graphs is faster relative to the paper's testbed, so the
     # latency shrinks harder than |V| does.
-    ("wordnet", "small"): (2400, None, 0.02),
-    ("dblp", "tiny"): (500, 4, 0.02),
+    ("wordnet", "small"): (2400, None, 0.02, None),
+    ("dblp", "tiny"): (500, 4, 0.02, None),
     # dblp's latency scale is tighter than wordnet's: its per-label
     # candidate sets are ~5x smaller (paper ratio), so for its expensive
     # edges to overflow formulation latency — the regime Figs. 7/8 show on
     # DBLP — the latency window must shrink accordingly.
-    ("dblp", "small"): (6000, 18, 0.03),
-    ("flickr", "tiny"): (700, 22, 0.02),
-    ("flickr", "small"): (9000, 280, 0.1),
+    ("dblp", "small"): (6000, 18, 0.03, None),
+    ("flickr", "tiny"): (700, 22, 0.02, None),
+    ("flickr", "small"): (9000, 280, 0.1, None),
+    # The paper's Flickr itself: 1.8M vertices at the full ~12.8 edge
+    # ratio (~23M edges) and the full 3000-label alphabet; latency is
+    # unscaled.  Build it through `repro.storage` (mmap backend) — see
+    # benchmarks/bench_scale.py and docs/STORAGE.md.
+    ("flickr", "paper"): (1_800_000, 3000, 1.0, 12.8),
 }
+
+DATASET_NAMES: tuple[str, ...] = tuple(
+    dict.fromkeys(name for name, _ in _PRESETS)
+)
+SCALES: tuple[str, ...] = tuple(
+    dict.fromkeys(scale for _, scale in _PRESETS)
+)
 
 
 def dataset_config(name: str, scale: str = "small") -> DatasetConfig:
-    """The registry's configuration for ``(name, scale)``."""
+    """The registry's configuration for ``(name, scale)``.
+
+    The single validation point for dataset/scale pairs: CLI argument
+    checks and programmatic callers all route here, and the error lists
+    the registered presets dynamically (a new preset needs no second
+    error-message edit anywhere).
+    """
     key = (name.lower(), scale.lower())
     if key not in _PRESETS:
+        presets = ", ".join(f"{n}/{s}" for n, s in _PRESETS)
         raise DatasetError(
-            f"unknown dataset/scale {key}; datasets: {DATASET_NAMES}, "
-            f"scales: {SCALES}"
+            f"unknown dataset/scale {key}; registered presets: {presets}"
         )
-    n, labels, latency_scale = _PRESETS[key]
+    n, labels, latency_scale, edge_ratio = _PRESETS[key]
     return DatasetConfig(
         name=key[0],
         scale=key[1],
@@ -114,6 +148,7 @@ def dataset_config(name: str, scale: str = "small") -> DatasetConfig:
         num_labels=labels,
         seed=42,
         latency_scale=latency_scale,
+        edge_ratio=edge_ratio,
     )
 
 
@@ -126,8 +161,23 @@ class DatasetBundle:
     pre: PreprocessResult
     latency: GUILatencyConstants
 
-    def make_context(self, oracle=None) -> EngineContext:
-        """Fresh :class:`EngineContext` (fresh counters, shared index)."""
+    def make_context(self, oracle=None, *, basis=None) -> EngineContext:
+        """Fresh :class:`EngineContext` (fresh counters, shared index).
+
+        ``basis=`` builds the context over an
+        :class:`~repro.storage.basis.EngineBasis` instead of the
+        bundle's resident preprocessing — the storage seam callers use
+        to serve this dataset from shm or an mmap directory.  ``oracle``
+        (ablations only) is incompatible with ``basis``.
+        """
+        if basis is not None:
+            if oracle is not None:
+                raise DatasetError(
+                    "make_context takes either oracle= or basis=, not both"
+                )
+            from repro.storage import context_from_basis
+
+            return context_from_basis(basis)
         return make_context(self.pre, latency=self.latency, oracle=oracle)
 
     @property
@@ -145,7 +195,10 @@ def _build_graph(config: DatasetConfig) -> Graph:
         )
     if config.name == "flickr":
         return flickr_like(
-            config.num_vertices, seed=config.seed, num_labels=config.num_labels or 3000
+            config.num_vertices,
+            seed=config.seed,
+            num_labels=config.num_labels or 3000,
+            edge_ratio=config.edge_ratio,
         )
     raise DatasetError(f"no generator for dataset {config.name!r}")
 
@@ -155,6 +208,27 @@ def _cache_dir() -> Path:
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-boomer"
+
+
+def _load_cache_envelope(cache_path: Path) -> PreprocessResult | None:
+    """Read one disk-cache file; None on any corruption (silent rebuild)."""
+    try:
+        with cache_path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:
+        return None
+    if isinstance(payload, PreprocessResult):  # pre-envelope cache file
+        return payload
+    if not isinstance(payload, dict) or "pre" not in payload:
+        return None
+    pre = payload["pre"]
+    if not isinstance(pre, PreprocessResult):
+        return None
+    if payload.get("finalized"):
+        # The pickled label CSR is already frozen; make that explicit so
+        # no process re-finalizes what the cache already holds.
+        pre.pml._finalized = True
+    return pre
 
 
 def get_dataset(
@@ -173,20 +247,22 @@ def get_dataset(
     cache_path = _cache_dir() / f"{config.cache_key}.pkl"
     pre: PreprocessResult | None = None
     if use_disk_cache and cache_path.exists():
-        try:
-            with cache_path.open("rb") as handle:
-                pre = pickle.load(handle)
-        except Exception:  # corrupt cache: rebuild silently
-            pre = None
+        pre = _load_cache_envelope(cache_path)
 
     if pre is None:
         graph = _build_graph(config)
         pre = preprocess(graph, seed=config.seed)
+        pre.pml._finalize_labels()  # freeze before caching (idempotent)
         if use_disk_cache:
+            envelope = {
+                "version": _CACHE_VERSION,
+                "finalized": bool(getattr(pre.pml, "_finalized", False)),
+                "pre": pre,
+            }
             try:
                 cache_path.parent.mkdir(parents=True, exist_ok=True)
                 with cache_path.open("wb") as handle:
-                    pickle.dump(pre, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
             except OSError:
                 pass  # read-only filesystems just skip the disk cache
 
@@ -198,6 +274,35 @@ def get_dataset(
     )
     _memory_cache[memo_key] = bundle
     return bundle
+
+
+def materialize_basis(
+    bundle: DatasetBundle, directory: str | Path | None = None
+) -> Path:
+    """Save (or reuse) the bundle's on-disk mmap basis; returns its path.
+
+    The default location is ``<cache dir>/<cache_key>.basis`` — next to
+    the pickle cache, keyed identically, so one preprocessing run feeds
+    both the resident and the mmap service paths.  An existing valid
+    basis is reused as-is (manifest-validated, never rebuilt).
+    """
+    from repro.errors import BasisFormatError
+    from repro.storage import basis_from_context, save_basis
+    from repro.storage.mmapstore import read_meta
+
+    path = (
+        Path(directory)
+        if directory is not None
+        else _cache_dir() / f"{bundle.config.cache_key}.basis"
+    )
+    if path.exists():
+        try:
+            read_meta(path)
+            return path
+        except BasisFormatError:
+            pass  # partial/stale save: rewrite below
+    basis = basis_from_context(bundle.make_context())
+    return save_basis(basis, path)
 
 
 def clear_memory_cache() -> None:

@@ -47,6 +47,8 @@ __all__ = [
     "WorkerPoolError",
     "WorkerDiedError",
     "RelayedError",
+    "StorageError",
+    "BasisFormatError",
     "AnalysisError",
     "LintUsageError",
     "LockOrderViolationError",
@@ -424,6 +426,35 @@ class RelayedError(ServiceError):
         self.code = code
         self.payload = dict(payload)
         self.retryable = retryable
+
+
+# --------------------------------------------------------------------------
+# Engine-basis storage (see repro.storage)
+# --------------------------------------------------------------------------
+class StorageError(ServiceError):
+    """Raised for engine-basis storage failures (see :mod:`repro.storage`).
+
+    Covers backend misconfiguration (unknown backend name, a byte budget
+    that cannot hold a single page), un-materializable bases (an oracle
+    with no frozen label arrays to export), and on-disk basis directories
+    that cannot be written.  Subclasses :class:`ServiceError` because the
+    storage seam is wire-visible: ``serve --storage mmap`` surfaces these
+    through the v2 error envelope.
+    """
+
+    code = "storage_error"
+
+
+class BasisFormatError(StorageError):
+    """Raised when an on-disk engine basis cannot be opened.
+
+    A missing or unparsable ``meta.json``, an unsupported format version,
+    or an array file whose dtype/shape disagrees with the manifest all
+    land here — the basis directory is treated as untrusted input, never
+    half-loaded.
+    """
+
+    code = "basis_format_invalid"
 
 
 # --------------------------------------------------------------------------

@@ -222,17 +222,26 @@ def dblp_like(n: int = 8000, seed: int = 11, num_labels: int = 100) -> Graph:
     return graph
 
 
-def flickr_like(n: int = 15000, seed: int = 13, num_labels: int = 3000) -> Graph:
+def flickr_like(
+    n: int = 15000,
+    seed: int = 13,
+    num_labels: int = 3000,
+    edge_ratio: float | None = None,
+) -> Graph:
     """Flickr-analog: dense (|E| ≈ 8|V| at our scale), many random labels.
 
-    The full Flickr ratio is ~12.8; we cap the emulated density at 8 to keep
-    pure-Python PML construction interactive, which preserves the property
-    the experiments rely on: tiny per-label candidate sets, so *no* edge is
-    expensive and IC ≈ DR ≈ DI (Fig. 8, Flickr panel).  ``num_labels`` is
-    registry-scaled like in :func:`dblp_like`.
+    The full Flickr ratio is ~12.8; the default caps the emulated density
+    at 8 to keep pure-Python PML construction interactive, which preserves
+    the property the experiments rely on: tiny per-label candidate sets,
+    so *no* edge is expensive and IC ≈ DR ≈ DI (Fig. 8, Flickr panel).
+    The registry's ``paper`` preset overrides ``edge_ratio`` to the full
+    ~12.8 (those builds go through the mmap storage backend, not an
+    interactive loop).  ``num_labels`` is registry-scaled like in
+    :func:`dblp_like`.
     """
     labels = assign_labels_uniform(n, num_labels, seed=seed)
-    graph = _mixed_attachment(n, ratio=8.0, seed=seed, labels=labels, name="flickr-like")
+    ratio = 8.0 if edge_ratio is None else float(edge_ratio)
+    graph = _mixed_attachment(n, ratio=ratio, seed=seed, labels=labels, name="flickr-like")
     graph = largest_component(graph)
     graph.name = "flickr-like"
     return graph

@@ -86,7 +86,25 @@ class PrunedLandmarkLabeling:
         self._finalize_labels()
 
     def _finalize_labels(self) -> None:
-        """Freeze the label lists into CSR arrays for the batch kernels."""
+        """Freeze the label lists into CSR arrays for the batch kernels.
+
+        Idempotent: once the CSR arrays exist they are frozen for the
+        index's lifetime, and callers (the storage layer, the lazy
+        post-unpickle path below) may invoke this unconditionally.  The
+        ``_finalized`` flag also travels through pickle and the dataset
+        disk cache, so an index restored from a cache written by this
+        version skips the rebuild entirely — and storage backends that
+        assemble an index over already-final on-disk arrays set the flag
+        directly (see :mod:`repro.storage.basis`), where re-finalizing
+        would walk label *views* to rebuild arrays that already exist.
+        """
+        if getattr(self, "_finalized", False):
+            return
+        if hasattr(self, "_label_offsets"):
+            # Arrays exist but the flag predates them (an index unpickled
+            # from an old cache): adopt them rather than rebuilding.
+            self._finalized = True
+            return
         counts = np.fromiter(
             (len(lst) for lst in self._label_ranks),
             dtype=np.int64,
@@ -109,6 +127,7 @@ class PrunedLandmarkLabeling:
         # Mean label size, for the dense-vs-merge crossover heuristic.
         n = len(self._label_ranks)
         self._avg_label = (total / n) if n else 0.0
+        self._finalized = True
 
     # ------------------------------------------------------------------
     # Construction
@@ -234,9 +253,10 @@ class PrunedLandmarkLabeling:
         that many queries).  Validation matches the scalar path: the
         source, then each target in order, first offender raises.
         """
-        if not hasattr(self, "_label_offsets"):
-            # Indexes unpickled from the preprocessor's disk cache skip
-            # __init__; freeze the CSR arrays on first batch query.
+        if not getattr(self, "_finalized", False):
+            # Indexes unpickled from a pre-flag disk cache skip __init__
+            # and carry no arrays; freeze the CSR on first batch query.
+            # (Caches written with the flag skip this entirely.)
             self._finalize_labels()
         self._graph._check_vertex(int(source))
         t = np.asarray(targets, dtype=np.int64)

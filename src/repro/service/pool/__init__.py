@@ -5,21 +5,24 @@ one core — BENCH_service.json's collapse from ~169 sessions/s at 1
 concurrent session to ~10/s at 32 is the GIL, not the engine.  This
 package splits the service into a **dispatcher** (socket front end +
 routing, still threads) and **N worker processes**, each running the
-unchanged single-process stack over a shared, zero-copy engine basis:
+unchanged single-process stack over a shared engine basis published
+through :mod:`repro.storage`:
 
-* :mod:`repro.service.pool.shm` — publish/attach of the immutable CSR
-  graph and finalized PML label arrays via
-  ``multiprocessing.shared_memory``;
-* :mod:`repro.service.pool.worker` — the child-process entry point (one
-  manager + :class:`~repro.service.dispatch.LocalDispatcher` behind a
-  pipe);
 * :mod:`repro.service.pool.dispatcher` — :class:`PoolDispatcher`, the
   :class:`~repro.service.server.QueryServer` backend: sticky routing,
-  metrics/stats fan-out, and worker-death repair (respawn + checkpoint
-  requeue).
+  metrics/stats fan-out, worker-death repair (respawn + checkpoint
+  requeue), and the ``storage="shm"|"mmap"`` choice of basis transport
+  (zero-copy shared-memory segments, or a shared on-disk mmap basis);
+* :mod:`repro.service.pool.worker` — the child-process entry point (one
+  manager + :class:`~repro.service.dispatch.LocalDispatcher` behind a
+  pipe) attaching whatever spec the dispatcher published via the
+  backend-generic :func:`repro.storage.attach`;
+* :mod:`repro.service.pool.shm` — deprecation shim re-exporting the
+  historical publish/attach names over :mod:`repro.storage.shm`.
 
 ``repro serve --workers N`` selects this backend; ``--workers 0`` keeps
-the in-process threaded path bit-for-bit.
+the in-process threaded path bit-for-bit, and ``--storage mmap`` swaps
+the transport under the same wire surface.
 """
 
 from repro.service.pool.dispatcher import PoolDispatcher

@@ -45,11 +45,23 @@ import zlib
 from typing import Any
 
 from repro.core.context import EngineContext
-from repro.errors import ProtocolError, RelayedError, WorkerDiedError, WorkerPoolError
+from repro.errors import (
+    ProtocolError,
+    RelayedError,
+    StorageError,
+    WorkerDiedError,
+    WorkerPoolError,
+)
 from repro.obs.aggregate import merge_snapshots, render_merged_text
 from repro.obs.metrics import metrics
 from repro.service import protocol
-from repro.service.pool.shm import publish_context, unlink_segments
+from repro.storage import (
+    StorageBackend,
+    basis_from_context,
+    open_backend,
+    publish_basis,
+    unlink_segments,
+)
 from repro.service.pool.worker import WorkerConfig, worker_main
 
 __all__ = ["PoolDispatcher"]
@@ -106,13 +118,42 @@ class PoolDispatcher:
         checkpoint_capacity: int = 256,
         checkpoint_dir: str | None = None,
         respawn: bool = True,
+        storage: str = "shm",
+        basis_dir: str | None = None,
+        storage_budget_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise WorkerPoolError("worker pool needs at least 1 worker")
+        if storage not in ("shm", "mmap"):
+            raise WorkerPoolError(
+                f"pool storage must be 'shm' or 'mmap', got {storage!r}"
+            )
         self.workers = workers
         self.respawn = respawn
+        self.storage = storage
         self._mp = mp.get_context("spawn")
-        self._spec, self._segments = publish_context(base_ctx)
+        try:
+            basis = basis_from_context(base_ctx)
+        except StorageError as exc:
+            raise WorkerPoolError(str(exc)) from exc
+        self._basis_backend: StorageBackend | None = None
+        if storage == "mmap":
+            # Workers open the same read-only npy files instead of
+            # attaching copies through shm; the kernel page cache is the
+            # shared medium, so fleet residency stays one basis deep.
+            # open_backend reuses a valid saved basis already in
+            # basis_dir (restart / materialize_basis) instead of
+            # rewriting it.
+            self._basis_backend = open_backend(
+                "mmap",
+                basis=basis,
+                directory=basis_dir,
+                budget_bytes=storage_budget_bytes,
+            )
+            self._spec = self._basis_backend.spec()
+            self._segments = []
+        else:
+            self._spec, self._segments = publish_basis(basis)
         if checkpoint_dir is None:
             checkpoint_dir = tempfile.mkdtemp(prefix="repro-pool-ckpt-")
             self._owns_checkpoint_dir = True
@@ -393,6 +434,7 @@ class PoolDispatcher:
             _sum_into(merged, stats)
         merged["draining"] = self._draining
         merged["pool"] = {
+            "storage": self.storage,
             "workers": self.workers,
             "alive": sum(1 for h in self._handles if h.alive),
             "routed_sessions": len(self._route),
@@ -464,6 +506,8 @@ class PoolDispatcher:
                 pass
         unlink_segments(self._segments)
         self._segments = []
+        if self._basis_backend is not None:
+            self._basis_backend.close()
         if self._owns_checkpoint_dir:
             shutil.rmtree(self.checkpoint_dir, ignore_errors=True)
 

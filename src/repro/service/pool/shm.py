@@ -1,43 +1,42 @@
-"""Zero-copy engine-basis publication over ``multiprocessing.shared_memory``.
+"""Deprecation shim over :mod:`repro.storage` — the pool's old shm API.
 
-The expensive, immutable part of an :class:`~repro.core.context.EngineContext`
-is a handful of flat numpy arrays: the CSR graph (``offsets``/``neighbors``),
-the finalized PML label CSR (``label_offsets``/``ranks``/``dists`` plus the
-landmark ``order``), and the two-hop counts.  The dispatcher **publishes**
-each array once into a named ``SharedMemory`` segment and hands every worker
-a small picklable :class:`SharedContextSpec` (segment names + dtypes +
-shapes + the scalar leftovers: labels, cost-model constants).  A worker
-**attaches** lazily on its first real request: mapping the segments costs
-page-table entries, not copies, so per-worker memory for the basis is ~zero
-regardless of N.
+The zero-copy publish/attach machinery that used to live here is now
+the storage layer's shm backend (:mod:`repro.storage.shm`), one of the
+three interchangeable :class:`~repro.storage.basis.EngineBasis`
+backends.  This module keeps the historical pool-flavored names
+importable:
 
-Two deliberate asymmetries:
-
-* **Ownership.** Only the publisher unlinks.  Attaching processes must also
-  tell *their* ``resource_tracker`` to forget the segment — CPython
-  registers every ``SharedMemory(name=...)`` attach for leak-tracking and
-  would otherwise *destroy* the shared segments when the first worker
-  exits, yanking the graph out from under its siblings (bpo-39959).
-* **Label lists, not arrays.**  PML's scalar hot path wants per-vertex
-  Python lists; materializing all of them per worker would undo the
-  zero-copy win.  :class:`SharedPML` keeps the CSR arrays shared and wraps
-  them in :class:`_LazyLabels`, which materializes a vertex's scalar list
-  on first touch and caches it — workers pay only for their sessions' hot
-  set.
+* :class:`SharedContextSpec` / :func:`unlink_segments` — re-exported
+  unchanged (they simply moved);
+* :class:`SharedPML` — alias of :class:`repro.storage.basis.StoredPML`
+  (the index works over *any* backend's arrays, not just shm, so the
+  generic name won);
+* :func:`publish_context` / :func:`attach_context` — shims that accept
+  the new ``basis=`` keyword and emit a :class:`DeprecationWarning` for
+  the bespoke array-plumbing signatures.  New code publishes a basis
+  (``publish_basis(basis_from_context(ctx))``) and attaches through the
+  backend-generic :func:`repro.storage.attach`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from multiprocessing import resource_tracker, shared_memory
-
-import numpy as np
+import warnings
+from multiprocessing import shared_memory
 
 from repro.core.context import EngineContext
-from repro.core.cost import CostModel
-from repro.errors import WorkerPoolError
-from repro.graph.graph import Graph
-from repro.indexing.pml import PrunedLandmarkLabeling
+from repro.errors import StorageError, WorkerPoolError
+from repro.storage.basis import (
+    EngineBasis,
+    StoredPML as SharedPML,
+    basis_from_context,
+    context_from_basis,
+)
+from repro.storage.shm import (
+    SharedContextSpec,
+    attach_basis,
+    publish_basis,
+    unlink_segments,
+)
 
 __all__ = [
     "SharedContextSpec",
@@ -48,241 +47,58 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class _ArraySpec:
-    """One published array: where it lives and how to view it."""
-
-    segment: str
-    dtype: str
-    shape: tuple[int, ...]
-
-
-@dataclass(frozen=True)
-class SharedContextSpec:
-    """Everything a worker needs to rebuild the engine basis, picklable.
-
-    The arrays travel by *name* (shared segments); only the scalars — the
-    per-vertex label list, graph name, cost-model constants — travel by
-    value in the spawn pickle.
-    """
-
-    graph_name: str
-    labels: tuple
-    arrays: dict[str, _ArraySpec] = field(default_factory=dict)
-    cost_model: dict[str, float] = field(default_factory=dict)
-    avg_label: float = 0.0
-    scan_override: str | None = None
-    batch_enabled: bool = True
-
-    def segment_names(self) -> list[str]:
-        return [spec.segment for spec in self.arrays.values()]
-
-
-class _LazyLabels:
-    """Sequence view of per-vertex label columns over the shared CSR.
-
-    ``labels[v]`` materializes ``column[offsets[v]:offsets[v+1]]`` as a
-    plain Python list on first access and caches it — the tight scalar
-    merge join keeps its list-of-ints speed, but a worker only ever pays
-    for the vertices its sessions actually touch.
-    """
-
-    __slots__ = ("_offsets", "_column", "_cache")
-
-    def __init__(self, offsets: np.ndarray, column: np.ndarray) -> None:
-        self._offsets = offsets
-        self._column = column
-        self._cache: dict[int, list[int]] = {}
-
-    def __len__(self) -> int:
-        return len(self._offsets) - 1
-
-    def __getitem__(self, v: int) -> list[int]:
-        hit = self._cache.get(v)
-        if hit is None:
-            start, end = int(self._offsets[v]), int(self._offsets[v + 1])
-            hit = self._column[start:end].tolist()
-            self._cache[v] = hit
-        return hit
-
-
-class SharedPML(PrunedLandmarkLabeling):
-    """A PML index whose backing arrays live in shared memory.
-
-    Built via ``__new__`` from already-finalized CSR arrays — never by
-    :meth:`~repro.indexing.pml.PrunedLandmarkLabeling.build`.  Query
-    behavior is bit-identical to the original index (same arrays, same
-    kernels); only storage differs, so the label-size introspection
-    reads the shared offsets instead of walking materialized lists.
-    """
-
-    @classmethod
-    def from_shared(
-        cls,
-        graph: Graph,
-        label_offsets: np.ndarray,
-        label_ranks_arr: np.ndarray,
-        label_dists_arr: np.ndarray,
-        order: np.ndarray,
-        avg_label: float,
-    ) -> "SharedPML":
-        pml = cls.__new__(cls)
-        pml._graph = graph
-        pml._order = order
-        pml.query_count = 0
-        pml._label_offsets = label_offsets
-        pml._label_ranks_arr = label_ranks_arr
-        pml._label_dists_arr = label_dists_arr
-        pml._avg_label = avg_label
-        pml._label_ranks = _LazyLabels(label_offsets, label_ranks_arr)
-        pml._label_dists = _LazyLabels(label_offsets, label_dists_arr)
-        return pml
-
-    def label_size(self, v: int) -> int:
-        self._graph._check_vertex(v)
-        return int(self._label_offsets[v + 1] - self._label_offsets[v])
-
-    def total_label_entries(self) -> int:
-        return int(self._label_offsets[-1])
-
-
-# --------------------------------------------------------------------------
-# Publish (dispatcher side)
-# --------------------------------------------------------------------------
-def _publish_array(
-    arr: np.ndarray, segments: list[shared_memory.SharedMemory]
-) -> _ArraySpec:
-    arr = np.ascontiguousarray(arr)
-    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
-    segments.append(shm)
-    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-    view[...] = arr
-    return _ArraySpec(segment=shm.name, dtype=str(arr.dtype), shape=arr.shape)
-
-
 def publish_context(
-    ctx: EngineContext,
+    ctx: EngineContext | None = None,
+    *,
+    basis: EngineBasis | None = None,
 ) -> tuple[SharedContextSpec, list[shared_memory.SharedMemory]]:
-    """Publish ``ctx``'s immutable basis; returns (spec, owned segments).
+    """Publish an engine basis into shared memory; returns (spec, segments).
 
-    The caller owns the returned segments: keep them referenced for the
-    pool's lifetime, then :func:`unlink_segments` exactly once.  Requires
-    a PML oracle (the pool shares *finalized label arrays*; a BFS oracle
-    has no frozen index to share).
+    Pass ``basis=`` (the supported signature).  The historical positional
+    ``ctx`` form still works but is deprecated: it re-extracts the basis
+    on every call, and the extraction lives in
+    :func:`repro.storage.basis.basis_from_context` now.
     """
-    oracle = ctx.oracle
-    if not isinstance(oracle, PrunedLandmarkLabeling):
-        raise WorkerPoolError(
-            f"worker pool requires a PML oracle to publish; got "
-            f"{type(oracle).__name__}"
+    if basis is None:
+        if ctx is None:
+            raise WorkerPoolError("publish_context needs a context or a basis")
+        warnings.warn(
+            "publish_context(ctx) is deprecated; pass "
+            "basis=repro.storage.basis_from_context(ctx) or publish through "
+            "repro.storage.ShmBackend",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if not hasattr(oracle, "_label_offsets"):
-        oracle._finalize_labels()
-    offsets, neighbors = ctx.graph.raw_csr()
-    segments: list[shared_memory.SharedMemory] = []
-    try:
-        arrays = {
-            "graph_offsets": _publish_array(offsets, segments),
-            "graph_neighbors": _publish_array(neighbors, segments),
-            "pml_offsets": _publish_array(oracle._label_offsets, segments),
-            "pml_ranks": _publish_array(oracle._label_ranks_arr, segments),
-            "pml_dists": _publish_array(oracle._label_dists_arr, segments),
-            "pml_order": _publish_array(np.asarray(oracle._order), segments),
-            "two_hop": _publish_array(np.asarray(ctx.two_hop), segments),
-        }
-    except Exception:
-        unlink_segments(segments)
-        raise
-    cost = ctx.cost_model
-    spec = SharedContextSpec(
-        graph_name=ctx.graph.name,
-        labels=tuple(ctx.graph.labels()),
-        arrays=arrays,
-        cost_model={
-            "t_avg": cost.t_avg,
-            "t_lat": cost.t_lat,
-            "mean_degree": cost.mean_degree,
-            "mean_two_hop": cost.mean_two_hop,
-        },
-        avg_label=float(oracle._avg_label),
-        scan_override=ctx.scan_override,
-        batch_enabled=ctx.batch_enabled,
-    )
-    return spec, segments
-
-
-def unlink_segments(segments: list[shared_memory.SharedMemory]) -> None:
-    """Close and destroy published segments (publisher side, idempotent)."""
-    for shm in segments:
         try:
-            shm.close()
-        except OSError:
-            pass
-        try:
-            shm.unlink()
-        except (FileNotFoundError, OSError):
-            pass
-
-
-# --------------------------------------------------------------------------
-# Attach (worker side)
-# --------------------------------------------------------------------------
-def _attach_array(
-    spec: _ArraySpec, attached: list[shared_memory.SharedMemory]
-) -> np.ndarray:
-    # CPython registers every attach with the resource_tracker, which the
-    # spawned workers *share* with the publisher — so a worker's attach
-    # registration (and the automatic cleanup it implies) would fight the
-    # publisher's ownership: the tracker would unlink segments while
-    # siblings still map them, or double-book the name (bpo-39959).
-    # Suppress registration for the attach: only the publisher owns the
-    # segment's lifetime.
-    original_register = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        shm = shared_memory.SharedMemory(name=spec.segment)
-    finally:
-        resource_tracker.register = original_register
-    attached.append(shm)
-    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
-    view.flags.writeable = False
-    return view
+            basis = basis_from_context(ctx)
+        except StorageError as exc:
+            # Historical contract: pool-side publication failures surface
+            # as WorkerPoolError (the pool soak's leak checks key on it).
+            raise WorkerPoolError(str(exc)) from exc
+    return publish_basis(basis)
 
 
 def attach_context(
-    spec: SharedContextSpec,
+    spec: SharedContextSpec | None = None,
+    *,
+    basis: EngineBasis | None = None,
 ) -> tuple[EngineContext, list[shared_memory.SharedMemory]]:
-    """Rebuild a full :class:`EngineContext` over the published segments.
+    """Rebuild an :class:`EngineContext`; returns (context, attached handles).
 
-    Returns the context plus the attached handles — the caller must keep
-    them referenced as long as the context lives (the numpy views borrow
-    their buffers) and ``close()`` (never ``unlink()``) them at exit.
+    Pass ``basis=`` to build over an already-attached basis (no new
+    handles).  The historical positional ``spec`` form still works but
+    is deprecated in favor of the backend-generic
+    :func:`repro.storage.attach`, which also understands mmap specs.
     """
-    attached: list[shared_memory.SharedMemory] = []
-    views = {
-        name: _attach_array(arr_spec, attached)
-        for name, arr_spec in spec.arrays.items()
-    }
-    graph = Graph(
-        offsets=views["graph_offsets"],
-        neighbors=views["graph_neighbors"],
-        labels=list(spec.labels),
-        name=spec.graph_name,
+    if basis is not None:
+        return context_from_basis(basis), []
+    if spec is None:
+        raise WorkerPoolError("attach_context needs a spec or a basis")
+    warnings.warn(
+        "attach_context(spec) is deprecated; use repro.storage.attach(spec), "
+        "which dispatches over every storage backend",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    pml = SharedPML.from_shared(
-        graph,
-        label_offsets=views["pml_offsets"],
-        label_ranks_arr=views["pml_ranks"],
-        label_dists_arr=views["pml_dists"],
-        order=views["pml_order"],
-        avg_label=spec.avg_label,
-    )
-    ctx = EngineContext(
-        graph=graph,
-        oracle=pml,
-        two_hop=views["two_hop"],
-        cost_model=CostModel(**spec.cost_model),
-        scan_override=spec.scan_override,
-        batch_enabled=spec.batch_enabled,
-    )
-    return ctx, attached
+    attached_basis, handles = attach_basis(spec)
+    return context_from_basis(attached_basis), handles

@@ -40,7 +40,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any
 
-from repro.service.pool.shm import SharedContextSpec, attach_context
+from repro.storage import attach as attach_storage
 
 __all__ = ["WorkerConfig", "worker_main"]
 
@@ -75,7 +75,7 @@ def _error_verdict(exc: BaseException) -> dict[str, Any]:
 
 
 def worker_main(
-    index: int | str, spec: SharedContextSpec, config: WorkerConfig, conn: Any
+    index: int | str, spec: Any, config: WorkerConfig, conn: Any
 ) -> None:
     """Run one worker until ``exit`` (or the dispatcher's pipe closes)."""
     from repro.service.dispatch import LocalDispatcher
@@ -97,7 +97,7 @@ def worker_main(
         nonlocal dispatcher
         with init_lock:
             if dispatcher is None:
-                ctx, handles = attach_context(spec)
+                ctx, handles = attach_storage(spec)
                 attached.extend(handles)
                 manager = SessionManager(
                     ctx,

@@ -1,0 +1,88 @@
+"""Unified engine-basis storage: one API, three interchangeable backends.
+
+Everything expensive about a prepared engine — the CSR graph, the
+finalized PML label arrays, the two-hop counts — is an immutable
+:class:`~repro.storage.basis.EngineBasis`.  This package is the single
+seam through which that basis is stored, transported, and reopened:
+
+* :mod:`repro.storage.basis` — the basis value itself plus the only
+  sanctioned conversions to/from a live
+  :class:`~repro.core.context.EngineContext` (boomerlint rule R7
+  enforces "only sanctioned": direct label-array plumbing outside this
+  package is a lint violation);
+* :mod:`repro.storage.backends` — ``resident`` (heap arrays, bit-for-bit
+  today's behavior), ``shm`` (zero-copy shared-memory attach for pool
+  workers), and ``mmap`` (read-only npy files, demand-paged);
+* :mod:`repro.storage.mmapstore` — the on-disk layout (npy per array +
+  ``meta.json`` manifest with a persisted *finalized* flag);
+* :mod:`repro.storage.tiering` — the byte-budgeted hot tier over mmap
+  (admission policy, LRU page cache, ``repro_storage_*`` metrics).
+
+See ``docs/STORAGE.md`` for the backend matrix and byte-budget tuning.
+"""
+
+from repro.storage.backends import (
+    BACKEND_NAMES,
+    MmapBackend,
+    ResidentBackend,
+    ShmBackend,
+    StorageBackend,
+    attach,
+    open_backend,
+)
+from repro.storage.basis import (
+    ARRAY_NAMES,
+    EngineBasis,
+    LazyLabelView,
+    StoredPML,
+    basis_from_context,
+    context_from_basis,
+)
+from repro.storage.mmapstore import (
+    MmapSpec,
+    basis_nbytes_on_disk,
+    load_basis,
+    read_meta,
+    save_basis,
+)
+from repro.storage.shm import (
+    SharedContextSpec,
+    attach_basis,
+    publish_basis,
+    unlink_segments,
+)
+from repro.storage.tiering import (
+    ByteBudgetPolicy,
+    HotPageCache,
+    TieredColumn,
+    TieredLabelView,
+)
+
+__all__ = [
+    "ARRAY_NAMES",
+    "BACKEND_NAMES",
+    "EngineBasis",
+    "StoredPML",
+    "LazyLabelView",
+    "basis_from_context",
+    "context_from_basis",
+    "StorageBackend",
+    "ResidentBackend",
+    "ShmBackend",
+    "MmapBackend",
+    "open_backend",
+    "attach",
+    "MmapSpec",
+    "save_basis",
+    "load_basis",
+    "read_meta",
+    "basis_nbytes_on_disk",
+    "SharedContextSpec",
+    "publish_basis",
+    "attach_basis",
+    "unlink_segments",
+    "ByteBudgetPolicy",
+    "HotPageCache",
+    "TieredColumn",
+    "TieredLabelView",
+]

@@ -1,0 +1,260 @@
+"""The :class:`EngineBasis` — the one immutable value every backend stores.
+
+The expensive part of an :class:`~repro.core.context.EngineContext` is a
+handful of flat numpy arrays: the CSR graph (``graph_offsets`` /
+``graph_neighbors``), the finalized PML label CSR (``pml_offsets`` /
+``pml_ranks`` / ``pml_dists`` plus the landmark ``pml_order``), and the
+per-vertex ``two_hop`` counts.  Everything else — labels, cost-model
+constants, ablation toggles — is small scalar metadata.
+
+Before this module existed the repo had two ad-hoc ways to materialize
+that bundle (the dataset registry's pickle cache and the worker pool's
+shared-memory publish/attach), each with its own array plumbing.
+:class:`EngineBasis` is the single value both now carry:
+
+* :func:`basis_from_context` extracts it from a live context (this is
+  the *only* sanctioned reader of the PML label-CSR internals —
+  boomerlint rule R7 flags any other module touching them);
+* :func:`context_from_basis` rebuilds a full, query-identical
+  :class:`~repro.core.context.EngineContext` over whatever buffers a
+  backend hands back — resident numpy arrays, shared-memory views, or
+  read-only ``numpy.memmap`` files.
+
+Byte identity is the contract: two contexts built from equal bases
+answer every distance query and enumerate every match identically,
+regardless of which backend held the bytes in between
+(``tests/test_storage_conformance.py`` proves it per backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.context import EngineContext
+from repro.core.cost import CostModel
+from repro.errors import StorageError
+from repro.graph.graph import Graph
+from repro.indexing.pml import PrunedLandmarkLabeling
+
+__all__ = [
+    "ARRAY_NAMES",
+    "EngineBasis",
+    "StoredPML",
+    "LazyLabelView",
+    "basis_from_context",
+    "context_from_basis",
+]
+
+#: Canonical array manifest, in serialization order.  Every backend
+#: stores exactly these seven arrays under exactly these names.
+ARRAY_NAMES = (
+    "graph_offsets",
+    "graph_neighbors",
+    "pml_offsets",
+    "pml_ranks",
+    "pml_dists",
+    "pml_order",
+    "two_hop",
+)
+
+
+@dataclass(frozen=True)
+class EngineBasis:
+    """Everything needed to reconstruct an engine context, as plain data.
+
+    ``arrays`` maps each :data:`ARRAY_NAMES` entry to a 1-D numpy array
+    (resident, shared-memory view, or memmap — the consumer does not
+    care).  The scalars mirror what the shared-memory spec already
+    shipped by value: labels, cost-model constants, and the two ablation
+    toggles that must survive a process boundary.
+    """
+
+    graph_name: str
+    labels: tuple
+    arrays: Mapping[str, np.ndarray]
+    cost_model: dict[str, float] = field(default_factory=dict)
+    avg_label: float = 0.0
+    scan_override: str | None = None
+    batch_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        missing = [name for name in ARRAY_NAMES if name not in self.arrays]
+        if missing:
+            raise StorageError(f"engine basis is missing arrays: {missing}")
+
+    def nbytes(self) -> int:
+        """Fully-resident footprint of the arrays (the tiering yardstick)."""
+        return int(sum(self.arrays[name].nbytes for name in ARRAY_NAMES))
+
+    def equal_bytes(self, other: "EngineBasis") -> bool:
+        """True iff every array matches ``other`` byte for byte."""
+        for name in ARRAY_NAMES:
+            mine, theirs = self.arrays[name], other.arrays[name]
+            if mine.dtype != theirs.dtype or mine.shape != theirs.shape:
+                return False
+            if not np.array_equal(np.asarray(mine), np.asarray(theirs)):
+                return False
+        return True
+
+    def with_arrays(self, arrays: Mapping[str, np.ndarray]) -> "EngineBasis":
+        """The same metadata over a different set of buffers."""
+        return replace(self, arrays=dict(arrays))
+
+
+class LazyLabelView:
+    """Sequence view of per-vertex label columns over a CSR column pair.
+
+    ``labels[v]`` materializes ``column[offsets[v]:offsets[v+1]]`` as a
+    plain Python list on first access and caches it — the tight scalar
+    merge join keeps its list-of-ints speed, but a consumer only ever
+    pays for the vertices its sessions actually touch.  (The mmap
+    backend swaps in :class:`repro.storage.tiering.TieredLabelView`,
+    which bounds this cache under the hot-set byte budget.)
+    """
+
+    __slots__ = ("_offsets", "_column", "_cache")
+
+    def __init__(self, offsets: np.ndarray, column: np.ndarray) -> None:
+        self._offsets = offsets
+        self._column = column
+        self._cache: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, v: int) -> list[int]:
+        hit = self._cache.get(v)
+        if hit is None:
+            start, end = int(self._offsets[v]), int(self._offsets[v + 1])
+            hit = self._column[start:end].tolist()
+            self._cache[v] = hit
+        return hit
+
+
+class StoredPML(PrunedLandmarkLabeling):
+    """A PML index whose backing arrays live in *some* storage backend.
+
+    Built via ``__new__`` from already-finalized CSR arrays — never by
+    :meth:`~repro.indexing.pml.PrunedLandmarkLabeling.build`.  Query
+    behavior is bit-identical to the original index (same arrays, same
+    kernels); only storage differs, so the label-size introspection
+    reads the stored offsets instead of walking materialized lists.
+    """
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: Graph,
+        label_offsets: np.ndarray,
+        label_ranks_arr: np.ndarray,
+        label_dists_arr: np.ndarray,
+        order: np.ndarray,
+        avg_label: float,
+        label_view=LazyLabelView,
+    ) -> "StoredPML":
+        """Assemble an index over stored arrays, labels lazily viewed.
+
+        ``label_view`` is the per-vertex list materializer —
+        :class:`LazyLabelView` for unbounded backends, a tiered view for
+        the byte-budgeted mmap backend.
+        """
+        pml = cls.__new__(cls)
+        pml._graph = graph
+        pml._order = order
+        pml.query_count = 0
+        pml._label_offsets = label_offsets
+        pml._label_ranks_arr = label_ranks_arr
+        pml._label_dists_arr = label_dists_arr
+        pml._avg_label = avg_label
+        pml._finalized = True  # arrays arrived frozen; never re-finalize
+        pml._label_ranks = label_view(label_offsets, label_ranks_arr)
+        pml._label_dists = label_view(label_offsets, label_dists_arr)
+        return pml
+
+    def label_size(self, v: int) -> int:
+        self._graph._check_vertex(v)
+        return int(self._label_offsets[v + 1] - self._label_offsets[v])
+
+    def total_label_entries(self) -> int:
+        return int(self._label_offsets[-1])
+
+
+def basis_from_context(ctx: EngineContext) -> EngineBasis:
+    """Extract the immutable engine basis from a live context.
+
+    Requires a PML oracle (storage backends hold *finalized label
+    arrays*; a BFS oracle has no frozen index to store).  The returned
+    arrays are the context's own buffers when already contiguous — no
+    copy is taken here; backends copy on publish/save as needed.
+    """
+    oracle = ctx.oracle
+    if not isinstance(oracle, PrunedLandmarkLabeling):
+        raise StorageError(
+            f"an engine basis requires a PML oracle; got "
+            f"{type(oracle).__name__}"
+        )
+    oracle._finalize_labels()
+    offsets, neighbors = ctx.graph.raw_csr()
+    arrays = {
+        "graph_offsets": np.ascontiguousarray(offsets),
+        "graph_neighbors": np.ascontiguousarray(neighbors),
+        "pml_offsets": np.ascontiguousarray(oracle._label_offsets),
+        "pml_ranks": np.ascontiguousarray(oracle._label_ranks_arr),
+        "pml_dists": np.ascontiguousarray(oracle._label_dists_arr),
+        "pml_order": np.ascontiguousarray(np.asarray(oracle._order)),
+        "two_hop": np.ascontiguousarray(np.asarray(ctx.two_hop)),
+    }
+    cost = ctx.cost_model
+    return EngineBasis(
+        graph_name=ctx.graph.name,
+        labels=tuple(ctx.graph.labels()),
+        arrays=arrays,
+        cost_model={
+            "t_avg": cost.t_avg,
+            "t_lat": cost.t_lat,
+            "mean_degree": cost.mean_degree,
+            "mean_two_hop": cost.mean_two_hop,
+        },
+        avg_label=float(oracle._avg_label),
+        scan_override=ctx.scan_override,
+        batch_enabled=ctx.batch_enabled,
+    )
+
+
+def context_from_basis(
+    basis: EngineBasis, label_view=LazyLabelView
+) -> EngineContext:
+    """Rebuild a full :class:`EngineContext` over a basis' buffers.
+
+    The context is query-identical to the one the basis was extracted
+    from: same arrays, same kernels, fresh counters.  ``label_view``
+    picks the per-vertex label materialization policy (see
+    :meth:`StoredPML.from_arrays`).
+    """
+    arrays = basis.arrays
+    graph = Graph(
+        offsets=arrays["graph_offsets"],
+        neighbors=arrays["graph_neighbors"],
+        labels=list(basis.labels),
+        name=basis.graph_name,
+    )
+    pml = StoredPML.from_arrays(
+        graph,
+        label_offsets=arrays["pml_offsets"],
+        label_ranks_arr=arrays["pml_ranks"],
+        label_dists_arr=arrays["pml_dists"],
+        order=arrays["pml_order"],
+        avg_label=basis.avg_label,
+        label_view=label_view,
+    )
+    return EngineContext(
+        graph=graph,
+        oracle=pml,
+        two_hop=arrays["two_hop"],
+        cost_model=CostModel(**basis.cost_model),
+        scan_override=basis.scan_override,
+        batch_enabled=basis.batch_enabled,
+    )

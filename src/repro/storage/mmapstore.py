@@ -1,0 +1,192 @@
+"""On-disk engine-basis layout: one npy file per array plus a manifest.
+
+A saved basis is a directory::
+
+    <dir>/meta.json           # format version, graph name, scalars,
+                              # per-array dtype/shape, finalized flag
+    <dir>/labels.pkl          # per-vertex label list (arbitrary hashables)
+    <dir>/graph_offsets.npy   # ... one npy per ARRAY_NAMES entry
+    <dir>/graph_neighbors.npy
+    <dir>/pml_offsets.npy
+    <dir>/pml_ranks.npy
+    <dir>/pml_dists.npy
+    <dir>/pml_order.npy
+    <dir>/two_hop.npy
+
+:func:`save_basis` writes it atomically enough for our uses (meta.json
+last, so a partially written directory is detected as unopenable);
+:func:`load_basis` opens every array with ``np.load(mmap_mode="r")`` —
+nothing is read into memory until a page is touched, which is the whole
+point: a paper-scale basis opens in milliseconds and the OS pages in
+only what queries actually visit.
+
+``meta.json`` records ``"finalized": true`` — the arrays on disk *are*
+the finalized PML CSR, so attaching processes must never rebuild them
+(the lazy re-finalization that the pickle cache used to re-run per
+process; see :meth:`repro.indexing.pml.PrunedLandmarkLabeling._finalize_labels`).
+
+:class:`MmapSpec` is the picklable handle pool workers receive instead
+of a shared-memory segment list: just the directory path and byte
+budget.  Every worker opens the same files; the page cache is shared by
+the kernel, not by us.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import BasisFormatError
+from repro.storage.basis import ARRAY_NAMES, EngineBasis
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MmapSpec",
+    "save_basis",
+    "load_basis",
+    "read_meta",
+    "basis_nbytes_on_disk",
+]
+
+#: Bump on any incompatible change to the directory layout.
+FORMAT_VERSION = 1
+
+_META = "meta.json"
+_LABELS = "labels.pkl"
+
+
+@dataclass(frozen=True)
+class MmapSpec:
+    """Picklable pointer to an on-disk basis (what pool workers attach).
+
+    Unlike the shared-memory spec there is nothing to publish or unlink
+    per worker — the directory is the shared medium and the kernel page
+    cache deduplicates residency across processes.
+    """
+
+    directory: str
+    graph_name: str
+    budget_bytes: int | None = None
+
+    def segment_names(self) -> list[str]:
+        """No shared-memory segments back an mmap basis."""
+        return []
+
+
+def save_basis(basis: EngineBasis, directory: str | Path) -> Path:
+    """Write ``basis`` to ``directory`` (created if needed); returns it.
+
+    Arrays are written with :func:`np.save` (plain npy, no pickle), the
+    label list with pickle (labels are arbitrary hashables), and
+    ``meta.json`` last so readers can treat its presence as the commit
+    mark.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    dtypes: dict[str, dict] = {}
+    for name in ARRAY_NAMES:
+        arr = np.ascontiguousarray(basis.arrays[name])
+        np.save(path / f"{name}.npy", arr, allow_pickle=False)
+        dtypes[name] = {"dtype": str(arr.dtype), "shape": list(arr.shape)}
+    with open(path / _LABELS, "wb") as fh:
+        pickle.dump(list(basis.labels), fh, protocol=pickle.HIGHEST_PROTOCOL)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "graph_name": basis.graph_name,
+        "cost_model": basis.cost_model,
+        "avg_label": basis.avg_label,
+        "scan_override": basis.scan_override,
+        "batch_enabled": basis.batch_enabled,
+        "finalized": True,
+        "arrays": dtypes,
+        "nbytes": basis.nbytes(),
+    }
+    with open(path / _META, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+    return path
+
+
+def read_meta(directory: str | Path) -> dict:
+    """The parsed ``meta.json`` of a saved basis (validated)."""
+    path = Path(directory)
+    meta_path = path / _META
+    if not meta_path.is_file():
+        raise BasisFormatError(
+            f"{path} is not a saved engine basis (no {_META}; "
+            "was save_basis interrupted?)"
+        )
+    try:
+        with open(meta_path, encoding="utf-8") as fh:
+            meta = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BasisFormatError(f"unreadable basis manifest {meta_path}: {exc}") from exc
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BasisFormatError(
+            f"basis format version {version!r} in {path} is not the "
+            f"supported version {FORMAT_VERSION}"
+        )
+    if not meta.get("finalized", False):
+        raise BasisFormatError(
+            f"basis in {path} is not marked finalized; refusing to attach "
+            "non-frozen label arrays read-only"
+        )
+    return meta
+
+
+def load_basis(directory: str | Path) -> EngineBasis:
+    """Open a saved basis with every array memory-mapped read-only.
+
+    Validates the manifest (format version, finalized flag, per-array
+    dtype/shape) before touching any array file; raises
+    :class:`~repro.errors.BasisFormatError` on mismatch.
+    """
+    path = Path(directory)
+    meta = read_meta(path)
+    arrays: dict[str, np.ndarray] = {}
+    for name in ARRAY_NAMES:
+        npy = path / f"{name}.npy"
+        if not npy.is_file():
+            raise BasisFormatError(f"basis in {path} is missing {npy.name}")
+        arr = np.load(npy, mmap_mode="r", allow_pickle=False)
+        want = meta["arrays"].get(name, {})
+        if str(arr.dtype) != want.get("dtype") or list(arr.shape) != want.get("shape"):
+            raise BasisFormatError(
+                f"{npy.name}: on-disk {arr.dtype}{arr.shape} does not match "
+                f"manifest {want.get('dtype')}{tuple(want.get('shape', ()))}"
+            )
+        arrays[name] = arr
+    try:
+        with open(path / _LABELS, "rb") as fh:
+            labels = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError) as exc:
+        raise BasisFormatError(f"unreadable label list in {path}: {exc}") from exc
+    scan = meta.get("scan_override")
+    return EngineBasis(
+        graph_name=meta["graph_name"],
+        labels=tuple(labels),
+        arrays=arrays,
+        cost_model=dict(meta["cost_model"]),
+        avg_label=float(meta["avg_label"]),
+        scan_override=scan,
+        batch_enabled=bool(meta.get("batch_enabled", True)),
+    )
+
+
+def basis_nbytes_on_disk(directory: str | Path) -> int:
+    """The manifest's recorded fully-resident footprint.
+
+    Reading it from ``meta.json`` avoids opening (and faulting pages of)
+    the arrays just to size a byte budget.
+    """
+    meta = read_meta(directory)
+    try:
+        return int(meta["nbytes"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BasisFormatError(
+            f"basis manifest in {directory} has no usable nbytes field"
+        ) from exc

@@ -1,0 +1,266 @@
+"""Hot/cold tiering for memory-mapped engine bases.
+
+The mmap backend gets two tiers for free-ish:
+
+* **cold** — the npy files themselves, opened read-only via
+  ``numpy.memmap``; the OS demand-loads 4 KiB pages on first touch and
+  may drop them under pressure.  Batch kernels fancy-index these
+  directly.
+* **hot** — the explicit, *byte-budgeted* cache in this module.  The
+  scalar query path touches per-vertex label lists thousands of times
+  per Run; re-materializing a Python list from a memmap on every merge
+  join would swamp the query with syscalls and boxing.  So materialized
+  pages (and the label lists built from them) are pinned in a
+  process-resident LRU whose total size never exceeds a configured byte
+  budget.
+
+The admission policy generalizes the overfill guard of
+:class:`repro.indexing.batch.DistanceVectorCache`'s full-vector detour
+(``FULL_VECTOR_MAX_OVERFILL``): an entry bigger than ``budget /
+max_overfill`` would monopolize the cache and evict many genuinely hot
+entries to admit one cold giant, so it is refused outright and served
+straight from the cold tier instead.
+
+Cache traffic is exported through :mod:`repro.obs.metrics`:
+``repro_storage_hits_total`` / ``repro_storage_misses_total`` /
+``repro_storage_evictions_total`` / ``repro_storage_rejects_total``
+counters and the ``repro_storage_resident_bytes`` gauge (what
+``benchmarks/bench_scale.py`` reports as peak hot-tier residency).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.obs.metrics import metrics
+
+__all__ = [
+    "ByteBudgetPolicy",
+    "HotPageCache",
+    "TieredColumn",
+    "TieredLabelView",
+    "DEFAULT_PAGE_ELEMS",
+]
+
+#: Elements per cached page of a tiered column.  At int32 this is 64 KiB
+#: per page — big enough to amortize the memmap read, small enough that a
+#: handful of hot vertices do not pin megabytes.
+DEFAULT_PAGE_ELEMS = 16384
+
+
+class ByteBudgetPolicy:
+    """Admission/eviction policy: total bytes <= budget, no giant entries.
+
+    ``max_overfill`` plays the same role as
+    :data:`repro.indexing.batch.FULL_VECTOR_MAX_OVERFILL`: a single
+    entry may claim at most ``1/max_overfill`` of the budget.  Anything
+    larger is *rejected* (served cold) rather than admitted — admitting
+    it would evict up to the whole cache for an entry that is, by its
+    very size, unlikely to be re-read before eviction.
+    """
+
+    def __init__(self, budget_bytes: int, max_overfill: int = 4) -> None:
+        if budget_bytes <= 0:
+            raise StorageError(f"byte budget must be positive, got {budget_bytes}")
+        if max_overfill < 1:
+            raise StorageError(f"max_overfill must be >= 1, got {max_overfill}")
+        self.budget_bytes = int(budget_bytes)
+        self.max_overfill = int(max_overfill)
+
+    def admits(self, nbytes: int) -> bool:
+        """True iff a single entry of ``nbytes`` may enter the hot tier."""
+        return nbytes * self.max_overfill <= self.budget_bytes
+
+    def over_budget(self, resident_bytes: int) -> bool:
+        """True while eviction must continue."""
+        return resident_bytes > self.budget_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"ByteBudgetPolicy(budget_bytes={self.budget_bytes:,}, "
+            f"max_overfill={self.max_overfill})"
+        )
+
+
+class HotPageCache:
+    """Thread-safe byte-budgeted LRU over opaque keyed entries.
+
+    Values are whatever the caller materialized (numpy page copies,
+    Python label lists); the caller states each entry's size at ``put``
+    time and the cache evicts least-recently-used entries until the
+    :class:`ByteBudgetPolicy` is satisfied.  Hits refresh recency.
+    """
+
+    def __init__(self, policy: ByteBudgetPolicy) -> None:
+        self.policy = policy
+        self._lock = threading.Lock()
+        #: key -> (value, nbytes); dict order is LRU order.
+        self._entries: dict[object, tuple[object, int]] = {}
+        self._resident = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently pinned hot."""
+        with self._lock:
+            return self._resident
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: object):
+        """The cached value, or None on miss.  Hits refresh recency."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._entries[key] = entry
+        if entry is None:
+            metrics.counter(
+                "repro_storage_misses_total", "hot-tier cache misses"
+            ).inc()
+            return None
+        metrics.counter("repro_storage_hits_total", "hot-tier cache hits").inc()
+        return entry[0]
+
+    def put(self, key: object, value: object, nbytes: int) -> bool:
+        """Admit ``value`` if the policy allows; returns False on reject.
+
+        A rejected entry is simply not cached — the caller already holds
+        the materialized value and serves this one request from it.
+        """
+        nbytes = int(nbytes)
+        if not self.policy.admits(nbytes):
+            metrics.counter(
+                "repro_storage_rejects_total",
+                "hot-tier admissions refused by the overfill guard",
+            ).inc()
+            return False
+        evictions = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._resident -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._resident += nbytes
+            while self.policy.over_budget(self._resident) and len(self._entries) > 1:
+                oldest = next(iter(self._entries))
+                _, freed = self._entries.pop(oldest)
+                self._resident -= freed
+                evictions += 1
+            resident = self._resident
+        if evictions:
+            metrics.counter(
+                "repro_storage_evictions_total", "hot-tier entries evicted"
+            ).inc(evictions)
+        metrics.gauge(
+            "repro_storage_resident_bytes", "bytes pinned in the hot tier"
+        ).set(resident)
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (tests / backend close)."""
+        with self._lock:
+            self._entries.clear()
+            self._resident = 0
+        metrics.gauge(
+            "repro_storage_resident_bytes", "bytes pinned in the hot tier"
+        ).set(0)
+
+
+class TieredColumn:
+    """Read-through page cache over a 1-D cold array (usually a memmap).
+
+    Slices are assembled from fixed-size pages: pages already hot come
+    from the cache, cold pages are copied out of the memmap (one OS
+    demand-load) and offered to the cache under the byte budget.  The
+    raw cold array stays reachable via :attr:`raw` for the batch kernels
+    that fancy-index whole columns.
+    """
+
+    __slots__ = ("raw", "_cache", "_key", "_page_elems", "_itemsize")
+
+    def __init__(
+        self,
+        raw: np.ndarray,
+        cache: HotPageCache,
+        key: str,
+        page_elems: int = DEFAULT_PAGE_ELEMS,
+    ) -> None:
+        if raw.ndim != 1:
+            raise StorageError(f"tiered columns are 1-D, got shape {raw.shape}")
+        self.raw = raw
+        self._cache = cache
+        self._key = key
+        self._page_elems = int(page_elems)
+        self._itemsize = int(raw.dtype.itemsize)
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def _page(self, index: int) -> np.ndarray:
+        key = (self._key, index)
+        page = self._cache.get(key)
+        if page is None:
+            lo = index * self._page_elems
+            page = np.asarray(self.raw[lo : lo + self._page_elems])
+            self._cache.put(key, page, page.nbytes)
+        return page
+
+    def slice(self, start: int, end: int) -> np.ndarray:
+        """``raw[start:end]`` assembled through the hot tier."""
+        if start >= end:
+            return self.raw[0:0]
+        pe = self._page_elems
+        first, last = start // pe, (end - 1) // pe
+        if first == last:
+            page = self._page(first)
+            return page[start - first * pe : end - first * pe]
+        parts = []
+        for index in range(first, last + 1):
+            page = self._page(index)
+            lo = max(start - index * pe, 0)
+            hi = min(end - index * pe, len(page))
+            parts.append(page[lo:hi])
+        return np.concatenate(parts)
+
+
+class TieredLabelView:
+    """Budget-bounded per-vertex label lists over a tiered column.
+
+    Drop-in for :class:`repro.storage.basis.LazyLabelView` on the mmap
+    backend: ``view[v]`` materializes the vertex's label slice as a
+    Python list through the page cache and memoizes the *list* under the
+    same byte budget (lists are what the scalar merge join iterates, and
+    boxing ints is the expensive step worth pinning).  A cold vertex
+    costs one page assembly; an evicted vertex simply pays it again.
+    """
+
+    __slots__ = ("_offsets", "_column", "_cache", "_key")
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        column: TieredColumn,
+        cache: HotPageCache,
+        key: str,
+    ) -> None:
+        self._offsets = offsets
+        self._column = column
+        self._cache = cache
+        self._key = key
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, v: int) -> list[int]:
+        key = (self._key, "list", v)
+        hit = self._cache.get(key)
+        if hit is None:
+            start, end = int(self._offsets[v]), int(self._offsets[v + 1])
+            hit = self._column.slice(start, end).tolist()
+            # ~28 bytes per boxed small int plus 8 per list slot.
+            self._cache.put(key, hit, 64 + 36 * len(hit))
+        return hit

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for the boomerlint catalog (R1–R6).
+"""Per-rule fixture tests for the boomerlint catalog (R1–R7).
 
 Each rule gets at least one *bad* fixture that must fire and one *good*
 fixture that must stay silent.  Path-scoped rules (R1, R2, R6) are
@@ -347,6 +347,63 @@ class TestLockDisciplineRule:
                     return oracle.distance(1, 2)
         """
         assert not rule_hits("R6", src, "repro/indexing/oracle.py")
+
+
+# ----------------------------------------------------------------------
+# R7 — storage seam
+# ----------------------------------------------------------------------
+class TestStorageSeamRule:
+    def test_direct_label_array_access_flagged(self):
+        src = """\
+        def peek(oracle):
+            return oracle._label_offsets[0]
+        """
+        hits = rule_hits("R7", src, "repro/service/manager.py")
+        assert len(hits) == 1
+        assert "_label_offsets" in hits[0].message
+        assert "EngineBasis" in hits[0].message
+
+    def test_all_three_csr_arrays_flagged(self):
+        src = """\
+        def peek(pml):
+            a = pml._label_offsets
+            b = pml._label_ranks_arr
+            c = pml._label_dists_arr
+            return a, b, c
+        """
+        assert len(rule_hits("R7", src, "repro/core/blender.py")) == 3
+
+    def test_indexing_and_storage_exempt(self):
+        src = """\
+        def kernel(oracle):
+            return oracle._label_ranks_arr.sum()
+        """
+        assert not rule_hits("R7", src, "repro/indexing/batch.py")
+        assert not rule_hits("R7", src, "repro/storage/basis.py")
+
+    def test_self_access_clean(self):
+        src = """\
+        class MyOracle:
+            def peek(self):
+                return self._label_offsets[0]
+        """
+        assert not rule_hits("R7", src, "repro/core/blender.py")
+
+    def test_other_private_attrs_clean(self):
+        src = """\
+        def peek(pml):
+            return pml._finalized, pml.query_count
+        """
+        assert not rule_hits("R7", src, "repro/datasets/registry.py")
+
+    def test_tree_is_currently_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).parent
+        report = LintEngine.for_rule_ids(["R7"]).lint_paths([root])
+        assert report.ok, [v.format() for v in report.violations]
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,21 @@ from repro.errors import DatasetError
 
 def test_known_names_and_scales():
     assert set(DATASET_NAMES) == {"wordnet", "dblp", "flickr"}
-    assert set(SCALES) == {"tiny", "small"}
+    assert set(SCALES) == {"tiny", "small", "paper"}
+
+
+def test_paper_preset_is_paper_sized():
+    config = dataset_config("flickr", "paper")
+    assert config.num_vertices == 1_800_000
+    assert config.num_labels == 3000
+    assert config.latency_scale == 1.0  # nothing shrank, nothing to rescale
+    assert config.edge_ratio == pytest.approx(12.8)
+    assert "-r12.8" in config.cache_key
+
+
+def test_unknown_error_lists_presets_dynamically():
+    with pytest.raises(DatasetError, match="flickr/paper"):
+        dataset_config("dblp", "huge")
 
 
 def test_config_lookup():

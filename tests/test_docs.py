@@ -45,7 +45,8 @@ def test_public_api_objects_documented():
     "filename",
     ["README.md", "DESIGN.md", "LICENSE", "pyproject.toml",
      "docs/ALGORITHMS.md", "docs/ARCHITECTURE.md", "docs/USAGE.md",
-     "docs/SERVICE.md", "docs/OBSERVABILITY.md", "docs/ANALYSIS.md"],
+     "docs/SERVICE.md", "docs/OBSERVABILITY.md", "docs/ANALYSIS.md",
+     "docs/STORAGE.md"],
 )
 def test_deliverable_files_present(filename):
     path = REPO_ROOT / filename

@@ -1,0 +1,361 @@
+"""Unit tests for the EngineBasis storage API (basis/mmap/tiering/shims)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.preprocessor import make_context, preprocess
+from repro.datasets.registry import clear_memory_cache, get_dataset, materialize_basis
+from repro.errors import BasisFormatError, DatasetError, StorageError, WorkerPoolError
+from repro.storage import (
+    ARRAY_NAMES,
+    ByteBudgetPolicy,
+    EngineBasis,
+    HotPageCache,
+    MmapBackend,
+    ResidentBackend,
+    ShmBackend,
+    StoredPML,
+    TieredColumn,
+    TieredLabelView,
+    attach,
+    basis_from_context,
+    context_from_basis,
+    load_basis,
+    open_backend,
+    read_meta,
+    save_basis,
+)
+from tests.conftest import build_fig2_graph
+
+
+@pytest.fixture(scope="module")
+def fig2_ctx():
+    return make_context(preprocess(build_fig2_graph(), seed=3))
+
+
+@pytest.fixture(scope="module")
+def fig2_basis(fig2_ctx):
+    return basis_from_context(fig2_ctx)
+
+
+def run_script(ctx):
+    boomer = Boomer(ctx, strategy="DI", max_results=1000)
+    for action in (
+        NewVertex(0, "A"),
+        NewVertex(1, "B"),
+        NewEdge(0, 1, 1, 2),
+        Run(),
+    ):
+        boomer.apply(action)
+    return sorted(
+        tuple(sorted(m.assignment.items())) for m in boomer.results(limit=1000)
+    )
+
+
+# ----------------------------------------------------------------------
+# EngineBasis + context round trip
+# ----------------------------------------------------------------------
+class TestBasisRoundTrip:
+    def test_has_every_array(self, fig2_basis):
+        assert set(fig2_basis.arrays) == set(ARRAY_NAMES)
+        assert fig2_basis.nbytes() > 0
+
+    def test_missing_array_rejected(self, fig2_basis):
+        arrays = dict(fig2_basis.arrays)
+        del arrays["two_hop"]
+        with pytest.raises(StorageError, match="two_hop"):
+            fig2_basis.with_arrays(arrays)
+
+    def test_context_round_trip_queries_identical(self, fig2_ctx, fig2_basis):
+        rebuilt = context_from_basis(fig2_basis)
+        assert isinstance(rebuilt.oracle, StoredPML)
+        n = fig2_ctx.graph.num_vertices
+        for u in range(n):
+            for v in range(n):
+                assert rebuilt.oracle.distance(u, v) == fig2_ctx.oracle.distance(
+                    u, v
+                )
+        assert run_script(rebuilt) == run_script(fig2_ctx)
+
+    def test_stored_pml_label_introspection(self, fig2_ctx, fig2_basis):
+        rebuilt = context_from_basis(fig2_basis)
+        total = rebuilt.oracle.total_label_entries()
+        assert total == fig2_ctx.oracle.total_label_entries()
+        assert (
+            sum(
+                rebuilt.oracle.label_size(v)
+                for v in range(fig2_ctx.graph.num_vertices)
+            )
+            == total
+        )
+
+    def test_equal_bytes(self, fig2_basis):
+        assert fig2_basis.equal_bytes(fig2_basis)
+        mutated = dict(fig2_basis.arrays)
+        mutated["two_hop"] = np.asarray(mutated["two_hop"]).copy() + 1
+        assert not fig2_basis.equal_bytes(fig2_basis.with_arrays(mutated))
+
+    def test_requires_pml_oracle(self, fig2_ctx):
+        from repro.indexing.oracle import BFSOracle
+
+        graph = build_fig2_graph()
+        ctx = make_context(
+            preprocess(graph, seed=3), oracle=BFSOracle(graph)
+        )
+        with pytest.raises(StorageError, match="PML"):
+            basis_from_context(ctx)
+
+
+# ----------------------------------------------------------------------
+# mmap store
+# ----------------------------------------------------------------------
+class TestMmapStore:
+    def test_save_load_round_trip(self, fig2_basis, tmp_path):
+        directory = save_basis(fig2_basis, tmp_path / "b")
+        loaded = load_basis(directory)
+        assert loaded.equal_bytes(fig2_basis)
+        assert loaded.graph_name == fig2_basis.graph_name
+        assert loaded.labels == fig2_basis.labels
+        assert loaded.cost_model == fig2_basis.cost_model
+        # arrays really are memmaps, read-only
+        arr = loaded.arrays["pml_ranks"]
+        assert isinstance(arr, np.memmap)
+        with pytest.raises((ValueError, OSError)):
+            arr[0] = 1
+
+    def test_meta_is_commit_mark(self, fig2_basis, tmp_path):
+        directory = save_basis(fig2_basis, tmp_path / "b")
+        (directory / "meta.json").unlink()
+        with pytest.raises(BasisFormatError, match="meta.json"):
+            load_basis(directory)
+
+    def test_version_mismatch_rejected(self, fig2_basis, tmp_path):
+        directory = save_basis(fig2_basis, tmp_path / "b")
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["format_version"] = 999
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(BasisFormatError, match="version"):
+            read_meta(directory)
+
+    def test_unfinalized_rejected(self, fig2_basis, tmp_path):
+        directory = save_basis(fig2_basis, tmp_path / "b")
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["finalized"] = False
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(BasisFormatError, match="finalized"):
+            load_basis(directory)
+
+    def test_shape_drift_rejected(self, fig2_basis, tmp_path):
+        directory = save_basis(fig2_basis, tmp_path / "b")
+        np.save(
+            directory / "two_hop.npy",
+            np.zeros(3, dtype=np.int64),
+            allow_pickle=False,
+        )
+        with pytest.raises(BasisFormatError, match="two_hop"):
+            load_basis(directory)
+
+
+# ----------------------------------------------------------------------
+# Tiering primitives
+# ----------------------------------------------------------------------
+class TestTiering:
+    def test_policy_validates(self):
+        with pytest.raises(StorageError):
+            ByteBudgetPolicy(0)
+        with pytest.raises(StorageError):
+            ByteBudgetPolicy(100, max_overfill=0)
+
+    def test_policy_rejects_giants(self):
+        policy = ByteBudgetPolicy(1000, max_overfill=4)
+        assert policy.admits(250)
+        assert not policy.admits(251)
+
+    def test_cache_lru_eviction_under_budget(self):
+        cache = HotPageCache(ByteBudgetPolicy(100, max_overfill=1))
+        for i in range(10):
+            assert cache.put(i, f"v{i}", 30)
+            assert cache.resident_bytes <= 100
+        # Only the newest entries survive; oldest evicted first.
+        assert cache.get(9) == "v9"
+        assert cache.get(0) is None
+
+    def test_cache_hit_refreshes_recency(self):
+        cache = HotPageCache(ByteBudgetPolicy(90, max_overfill=1))
+        cache.put("a", 1, 30)
+        cache.put("b", 2, 30)
+        cache.put("c", 3, 30)
+        assert cache.get("a") == 1  # refresh: "b" is now oldest
+        cache.put("d", 4, 30)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_cache_reject_leaves_state_alone(self):
+        cache = HotPageCache(ByteBudgetPolicy(100, max_overfill=4))
+        assert not cache.put("giant", object(), 50)
+        assert cache.resident_bytes == 0
+        assert len(cache) == 0
+
+    def test_tiered_column_slices_match_raw(self):
+        raw = np.arange(1000, dtype=np.int32)
+        cache = HotPageCache(ByteBudgetPolicy(10_000, max_overfill=1))
+        column = TieredColumn(raw, cache, "t", page_elems=64)
+        for start, end in [(0, 0), (0, 5), (60, 70), (0, 1000), (990, 1000)]:
+            assert np.array_equal(column.slice(start, end), raw[start:end])
+        assert len(column) == 1000
+
+    def test_tiered_label_view_matches_plain_lists(self):
+        offsets = np.array([0, 3, 3, 7, 10], dtype=np.int64)
+        column = np.arange(10, dtype=np.int32)
+        cache = HotPageCache(ByteBudgetPolicy(100_000, max_overfill=1))
+        tiered = TieredColumn(column, cache, "labels", page_elems=4)
+        view = TieredLabelView(offsets, tiered, cache, "labels")
+        assert len(view) == 4
+        for v in range(4):
+            want = column[offsets[v] : offsets[v + 1]].tolist()
+            assert view[v] == want
+            assert view[v] == want  # hot path returns the same value
+
+
+# ----------------------------------------------------------------------
+# Backends + attach dispatch
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_resident_backend(self, fig2_ctx, fig2_basis):
+        backend = ResidentBackend(fig2_basis)
+        assert run_script(backend.context()) == run_script(fig2_ctx)
+        with pytest.raises(StorageError, match="cross-process"):
+            backend.spec()
+        backend.close()
+
+    def test_shm_backend_publish_attach(self, fig2_ctx, fig2_basis):
+        backend = ShmBackend(fig2_basis)
+        try:
+            assert backend.segment_names()
+            ctx, handles = attach(backend.spec())
+            assert run_script(ctx) == run_script(fig2_ctx)
+            for handle in handles:
+                handle.close()
+        finally:
+            backend.close()
+
+    def test_mmap_backend_owns_temp_dir(self, fig2_ctx, fig2_basis):
+        backend = MmapBackend.create(fig2_basis)
+        directory = backend.directory
+        assert directory.exists()
+        assert run_script(backend.context()) == run_script(fig2_ctx)
+        backend.close()
+        assert not directory.exists()
+
+    def test_mmap_attach_via_spec(self, fig2_ctx, fig2_basis, tmp_path):
+        backend = MmapBackend.create(fig2_basis, tmp_path / "b", budget_bytes=1 << 20)
+        ctx, handles = attach(backend.spec())
+        assert handles == []
+        assert run_script(ctx) == run_script(fig2_ctx)
+        backend.close()
+        assert (tmp_path / "b").exists()  # named dirs are never deleted
+
+    def test_open_backend_reuses_valid_directory(self, fig2_basis, tmp_path):
+        directory = save_basis(fig2_basis, tmp_path / "b")
+        before = (directory / "meta.json").stat().st_mtime_ns
+        backend = open_backend("mmap", basis=fig2_basis, directory=directory)
+        assert (directory / "meta.json").stat().st_mtime_ns == before
+        backend.close()
+
+    def test_open_backend_rejects_unknown(self, fig2_basis):
+        with pytest.raises(StorageError, match="unknown storage backend"):
+            open_backend("punchcards", basis=fig2_basis)
+        with pytest.raises(StorageError):
+            open_backend("shm")  # no basis
+
+    def test_attach_rejects_unknown_spec(self):
+        with pytest.raises(StorageError, match="unknown storage spec"):
+            attach(object())
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims (pool's historical shm API)
+# ----------------------------------------------------------------------
+class TestPoolShims:
+    def test_publish_context_positional_warns(self, fig2_ctx):
+        from repro.service.pool.shm import publish_context, unlink_segments
+
+        with pytest.deprecated_call():
+            spec, segments = publish_context(fig2_ctx)
+        unlink_segments(segments)
+        assert spec.graph_name == fig2_ctx.graph.name
+
+    def test_publish_basis_kwarg_is_quiet(self, fig2_basis, recwarn):
+        import warnings
+
+        from repro.service.pool.shm import publish_context, unlink_segments
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            spec, segments = publish_context(basis=fig2_basis)
+        unlink_segments(segments)
+
+    def test_attach_context_basis_kwarg(self, fig2_ctx, fig2_basis):
+        from repro.service.pool.shm import attach_context
+
+        ctx, handles = attach_context(basis=fig2_basis)
+        assert handles == []
+        assert run_script(ctx) == run_script(fig2_ctx)
+
+    def test_publish_requires_something(self):
+        from repro.service.pool.shm import attach_context, publish_context
+
+        with pytest.raises(WorkerPoolError):
+            publish_context()
+        with pytest.raises(WorkerPoolError):
+            attach_context()
+
+    def test_shared_pml_alias(self):
+        from repro.service.pool.shm import SharedPML
+
+        assert SharedPML is StoredPML
+
+
+# ----------------------------------------------------------------------
+# Registry integration
+# ----------------------------------------------------------------------
+class TestRegistryIntegration:
+    def test_make_context_basis_kwarg(self, wordnet_tiny):
+        basis = basis_from_context(wordnet_tiny.make_context())
+        ctx = wordnet_tiny.make_context(basis=basis)
+        assert isinstance(ctx.oracle, StoredPML)
+        assert ctx.graph.name == wordnet_tiny.graph.name
+
+    def test_make_context_rejects_oracle_and_basis(self, wordnet_tiny):
+        basis = basis_from_context(wordnet_tiny.make_context())
+        with pytest.raises(DatasetError, match="not both"):
+            wordnet_tiny.make_context(oracle=object(), basis=basis)
+
+    def test_materialize_basis_writes_and_reuses(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        bundle = get_dataset("wordnet", "tiny")
+        path = materialize_basis(bundle)
+        assert path.is_dir() and (path / "meta.json").is_file()
+        before = (path / "meta.json").stat().st_mtime_ns
+        again = materialize_basis(bundle)
+        assert again == path
+        assert (path / "meta.json").stat().st_mtime_ns == before
+        loaded = load_basis(path)
+        assert loaded.graph_name == bundle.graph.name
+        clear_memory_cache()
+
+    def test_disk_cache_persists_finalized_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        get_dataset("wordnet", "tiny")
+        clear_memory_cache()
+        bundle = get_dataset("wordnet", "tiny")  # from disk cache
+        assert getattr(bundle.pre.pml, "_finalized", False) is True
+        clear_memory_cache()

@@ -1,0 +1,185 @@
+"""Cross-backend conformance: byte identity and answer identity.
+
+The storage contract (docs/STORAGE.md): an :class:`EngineBasis` round
+tripped through any backend — resident heap arrays, shared-memory
+segments, mmapped npy files (budgeted or not) — yields byte-identical
+arrays and a context that answers every query identically.  Hypothesis
+drives randomized graphs through all backends at once; a property test
+pins the hot tier's budget invariant under adversarial put sequences.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.actions import NewEdge, NewVertex, Run
+from repro.core.blender import Boomer
+from repro.core.preprocessor import make_context, preprocess
+from repro.storage import (
+    ARRAY_NAMES,
+    ByteBudgetPolicy,
+    HotPageCache,
+    ShmBackend,
+    attach,
+    basis_from_context,
+    open_backend,
+)
+from tests.test_property_graph import labeled_graphs
+
+
+def canonical_run(ctx, labels: list[str]):
+    """One scripted Run over ``ctx``; canonical sorted match tuples."""
+    a = labels[0]
+    b = next((lab for lab in labels if lab != a), a)
+    boomer = Boomer(ctx, strategy="DI", max_results=5000)
+    for action in (NewVertex(0, a), NewVertex(1, b), NewEdge(0, 1, 1, 2), Run()):
+        boomer.apply(action)
+    return sorted(
+        tuple(sorted(m.assignment.items())) for m in boomer.results(limit=5000)
+    )
+
+
+@given(labeled_graphs(), st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_backends_byte_and_answer_identical(tmp_path_factory, graph, budgeted):
+    """All three backends agree, bit for bit, on random graphs."""
+    ctx = make_context(preprocess(graph, seed=5))
+    basis = basis_from_context(ctx)
+    labels = graph.labels()
+    reference = canonical_run(ctx, labels)
+
+    tmp = tmp_path_factory.mktemp("basis")
+    budget = max(1024, basis.nbytes() // 4) if budgeted else None
+    backends = {
+        "resident": open_backend("resident", basis=basis),
+        "shm": open_backend("shm", basis=basis),
+        "mmap": open_backend(
+            "mmap", basis=basis, directory=tmp / "b", budget_bytes=budget
+        ),
+    }
+    try:
+        for name, backend in backends.items():
+            if name != "resident":
+                spec = backend.spec()
+                attached_ctx, handles = attach(spec)
+                for handle in handles:
+                    handle.close()
+            round_tripped = basis_from_context(backend.context())
+            assert round_tripped.equal_bytes(basis), f"{name}: bytes diverged"
+            assert canonical_run(backend.context(), labels) == reference, (
+                f"{name}: matches diverged"
+            )
+    finally:
+        for backend in backends.values():
+            backend.close()
+
+
+@given(labeled_graphs())
+@settings(max_examples=15, deadline=None)
+def test_scalar_distances_identical_under_tight_budget(graph):
+    """A starved hot tier changes speed, never answers."""
+    ctx = make_context(preprocess(graph, seed=9))
+    basis = basis_from_context(ctx)
+    backend = open_backend("mmap", basis=basis, budget_bytes=2048)
+    try:
+        tiered_ctx = backend.context()
+        n = graph.num_vertices
+        for u in range(n):
+            for v in range(n):
+                assert tiered_ctx.oracle.distance(u, v) == ctx.oracle.distance(
+                    u, v
+                )
+    finally:
+        backend.close()
+
+
+@given(
+    st.integers(256, 4096),
+    st.integers(1, 8),
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 2048)),
+        min_size=1,
+        max_size=200,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_hot_tier_never_exceeds_budget(budget, overfill, puts):
+    """Property: after any put sequence, resident <= budget always holds.
+
+    The eviction loop stops at one surviving entry, but admission refuses
+    anything larger than budget/max_overfill, so a lone survivor still
+    fits — the gauge can never read over budget.
+    """
+    cache = HotPageCache(ByteBudgetPolicy(budget, max_overfill=overfill))
+    for key, nbytes in puts:
+        admitted = cache.put(key, object(), nbytes)
+        assert admitted == (nbytes * overfill <= budget)
+        assert cache.resident_bytes <= budget
+    cache.clear()
+    assert cache.resident_bytes == 0
+
+
+def test_shm_segments_unlinked_on_close():
+    """No leaked shared-memory segments after a backend close."""
+    from multiprocessing import shared_memory
+
+    from tests.conftest import build_fig2_graph
+
+    graph_ctx = make_context(preprocess(build_fig2_graph(), seed=1))
+    backend = ShmBackend(basis_from_context(graph_ctx))
+    names = backend.segment_names()
+    assert names
+    backend.close()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_mmap_pool_worker_end_to_end():
+    """A spawned pool over an mmap basis answers like the local engine."""
+    from tests.conftest import build_fig2_graph
+    from repro.service.pool import PoolDispatcher
+
+    ctx = make_context(preprocess(build_fig2_graph(), seed=1))
+    reference = canonical_run(ctx, ctx.graph.labels())
+    dispatcher = PoolDispatcher(ctx, workers=2, storage="mmap")
+    try:
+        assert dispatcher.segment_names() == []
+        sid = dispatcher.dispatch({"op": "create_session", "strategy": "DI"})[
+            "session"
+        ]
+        labels = ctx.graph.labels()
+        a = labels[0]
+        b = next((lab for lab in labels if lab != a), a)
+        for payload in (
+            {"kind": "NewVertex", "vertex_id": 0, "label": a},
+            {"kind": "NewVertex", "vertex_id": 1, "label": b},
+            {"kind": "NewEdge", "u": 0, "v": 1, "lower": 1, "upper": 2},
+        ):
+            dispatcher.dispatch(
+                {"op": "action", "session": sid, "action": payload}
+            )
+        run = dispatcher.dispatch({"op": "run", "session": sid})
+        assert run["num_matches"] == len(reference)
+        stats = dispatcher.dispatch({"op": "stats"})
+        assert stats["pool"]["storage"] == "mmap"
+    finally:
+        dispatcher.close()
+
+
+def test_memmap_arrays_are_not_copies(tmp_path):
+    """The mmap backend's context reads the files, not heap copies."""
+    from tests.conftest import build_fig2_graph
+
+    ctx = make_context(preprocess(build_fig2_graph(), seed=1))
+    basis = basis_from_context(ctx)
+    backend = open_backend("mmap", basis=basis, directory=tmp_path / "b")
+    try:
+        opened = backend.basis
+        for name in ARRAY_NAMES:
+            assert isinstance(opened.arrays[name], np.memmap), name
+    finally:
+        backend.close()
