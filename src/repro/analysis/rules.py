@@ -35,6 +35,15 @@ R7     Storage seam — the PML label-CSR internals
        :class:`~repro.storage.basis.EngineBasis` API, so the arrays can
        live on the heap, in shared memory, or in mmapped files without
        callers noticing.
+R8     Graph mutation seam — the CSR/epoch state of a
+       :class:`~repro.graph.graph.Graph` (``_offsets``/``_neighbors``/
+       ``_num_edges``/``_epoch``/``_label_index``) is only *written* on
+       another object inside :mod:`repro.graph`, :mod:`repro.updates`
+       (the sanctioned mutation path that bumps the epoch and maintains
+       every derived index), and :mod:`repro.storage` (which rehydrates
+       objects from serialized state via ``__new__`` — construction, not
+       mutation).  Writes through ``self`` stay legal everywhere: a
+       class owns its own fields.
 =====  ====================================================================
 
 Rules are scoped by module key (see :func:`repro.analysis.engine.module_key`)
@@ -58,6 +67,7 @@ __all__ = [
     "PublicApiRule",
     "LockDisciplineRule",
     "StorageSeamRule",
+    "GraphMutationSeamRule",
 ]
 
 
@@ -546,3 +556,66 @@ class StorageSeamRule(Rule):
                 "repro.indexing/repro.storage; go through the EngineBasis "
                 "seam (repro.storage.basis_from_context / context_from_basis)",
             )
+
+
+# ----------------------------------------------------------------------
+# R8 — graph mutation seam
+# ----------------------------------------------------------------------
+@register
+class GraphMutationSeamRule(Rule):
+    """Writes to Graph CSR/epoch state outside the sanctioned mutation path.
+
+    A :class:`~repro.graph.graph.Graph` mutated anywhere but
+    :mod:`repro.updates` silently leaves every derived structure — PML
+    labels, two-hop counts, distance-vector caches — describing a graph
+    that no longer exists, without the epoch bump that would make readers
+    notice.  This rule flags *assignments* (plain, augmented, annotated)
+    to the mutable graph fields on any object other than ``self``:
+    ``obj._offsets = ...``, ``graph._num_edges += 1``,
+    ``g._epoch = 0``.  Reads stay free; ``self.…`` writes stay free
+    (a class owns its fields — :class:`~repro.storage.basis.LazyLabelView`
+    has an ``_offsets`` of its own); and :mod:`repro.graph`,
+    :mod:`repro.updates`, and :mod:`repro.storage` (``__new__``-based
+    rehydration from serialized state) are the sanctioned writers.
+    """
+
+    id = "R8"
+    title = "Graph CSR/epoch state only written in repro.graph / repro.updates"
+
+    ALLOWED_PREFIXES = ("repro/graph/", "repro/updates/", "repro/storage/")
+    #: The fields whose coherent joint update *is* a graph mutation.
+    MUTABLE_ATTRS = {
+        "_offsets",
+        "_neighbors",
+        "_num_edges",
+        "_epoch",
+        "_label_index",
+    }
+
+    def check(self, module) -> Iterator[Violation]:
+        if module.key.startswith(self.ALLOWED_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                for sub in ast.walk(target):
+                    if not isinstance(sub, ast.Attribute):
+                        continue
+                    if sub.attr not in self.MUTABLE_ATTRS:
+                        continue
+                    owner = sub.value
+                    if isinstance(owner, ast.Name) and owner.id == "self":
+                        continue
+                    yield self.violation(
+                        module,
+                        sub,
+                        f"write to graph internal '{sub.attr}' outside "
+                        "repro.graph/repro.updates; mutate through "
+                        "repro.updates (insert_edge/delete_edge), which "
+                        "bumps the epoch and maintains derived indexes",
+                    )

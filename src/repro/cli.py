@@ -13,6 +13,7 @@ Subcommands::
     python -m repro obs summarize --trace trace.json
     python -m repro obs tree --trace trace.json [--max-depth 3]
     python -m repro obs metrics --port 7474 [--format json]
+    python -m repro update-check [--seed 7] [--rounds 3] [--steps 12]
     python -m repro lint src/repro [--rules R1,R2] [--format json]
 
 ``serve`` hosts the multi-session query service (see docs/SERVICE.md): a
@@ -608,6 +609,83 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_update_check(args: argparse.Namespace) -> int:
+    """Seeded mini-conformance run for incremental graph updates.
+
+    Generates seeded synthetic graphs, applies a random insert/delete
+    schedule through :mod:`repro.updates`, and asserts that the
+    maintained index answers every distance byte-identically to a fresh
+    PML build on the mutated graph (plus two-hop count parity).  This is
+    the fast CI gate next to the full hypothesis suite in
+    ``tests/test_updates_conformance.py``.
+    """
+    import numpy as np
+
+    from repro.errors import GraphMutationError
+    from repro.indexing.pml import PrunedLandmarkLabeling
+    from repro.indexing.twohop import two_hop_counts
+    from repro.updates import delete_edge, insert_edge
+    from repro.utils.rng import seeded_rng
+
+    rng = seeded_rng(args.seed)
+    updates_applied = 0
+    for round_no in range(args.rounds):
+        graph = _GENERATORS[args.dataset](args.n, seed=rng.randrange(1 << 30))
+        pre = preprocess(graph, t_avg_samples=64)
+        ctx = make_context(pre)
+        n = graph.num_vertices
+        for _ in range(args.steps):
+            kind = rng.choice(("insert", "delete"))
+            if kind == "insert":
+                for _attempt in range(32):
+                    u, v = rng.randrange(n), rng.randrange(n)
+                    if u != v and not graph.has_edge(u, v):
+                        insert_edge(ctx, u, v)
+                        updates_applied += 1
+                        break
+            else:
+                edges = list(graph.iter_edges())
+                if not edges:
+                    continue
+                u, v = rng.choice(edges)
+                try:
+                    delete_edge(ctx, u, v)
+                except GraphMutationError:
+                    continue
+                updates_applied += 1
+        fresh = PrunedLandmarkLabeling.build(graph)
+        targets = np.arange(n, dtype=np.int64)
+        for source in range(n):
+            got = np.asarray(ctx.oracle.distances_from(source, targets))
+            want = np.asarray(fresh.distances_from(source, targets))
+            if not np.array_equal(got, want):
+                bad = int(np.nonzero(got != want)[0][0])
+                print(
+                    f"update-check FAIL (round {round_no}, seed {args.seed}): "
+                    f"dist({source}, {bad}) = {int(got[bad])} incremental "
+                    f"vs {int(want[bad])} fresh at epoch {graph.epoch}",
+                    file=sys.stderr,
+                )
+                return EXIT_ERROR
+        if not np.array_equal(np.asarray(ctx.two_hop), two_hop_counts(graph)):
+            print(
+                f"update-check FAIL (round {round_no}, seed {args.seed}): "
+                "two-hop counts diverged from a fresh recount",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        print(
+            f"round {round_no}: {graph.num_vertices} vertices, "
+            f"epoch {graph.epoch}, answers identical to fresh build",
+            file=sys.stderr,
+        )
+    print(
+        f"update-check PASS: {args.rounds} round(s), "
+        f"{updates_applied} update(s), incremental == fresh everywhere"
+    )
+    return EXIT_OK
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
@@ -856,6 +934,25 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument(
         "--format", choices=("text", "json"), default="text"
     )
+
+    update_check = sub.add_parser(
+        "update-check",
+        help="seeded incremental-vs-fresh conformance check for graph updates",
+    )
+    update_check.add_argument("--seed", type=int, default=7)
+    update_check.add_argument(
+        "--rounds", type=int, default=3, help="independent graphs to exercise"
+    )
+    update_check.add_argument(
+        "--n", type=int, default=60, help="vertices per synthetic graph"
+    )
+    update_check.add_argument(
+        "--steps", type=int, default=12, help="edge updates per round"
+    )
+    update_check.add_argument(
+        "--dataset", choices=sorted(_GENERATORS), default="wordnet"
+    )
+    update_check.set_defaults(func=_cmd_update_check)
 
     lint = sub.add_parser(
         "lint", help="run boomerlint invariant checks over Python sources"

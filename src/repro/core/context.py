@@ -100,6 +100,11 @@ class EngineContext:
     #: not depend on it).
     batch_enabled: bool = True
 
+    @property
+    def epoch(self) -> int:
+        """The graph's mutation epoch (see :attr:`repro.graph.graph.Graph.epoch`)."""
+        return self.graph.epoch
+
     def candidates_for(self, label: object) -> list[int]:
         """Candidate data vertices of a query vertex labeled ``label``."""
         return [int(v) for v in self.matcher.candidates_for(self.graph, label)]

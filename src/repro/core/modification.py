@@ -67,7 +67,10 @@ def delete_edge(engine: "BlenderEngine", u: int, v: int) -> ModificationReport:
 
     if pooled:
         # Unprocessed edge: "no change is required on the CAP index".
-        engine.pool.discard(u, v)
+        # Re-derive the pool from the query instead of surgically
+        # discarding one key — the query is the single source of truth,
+        # so pool state cannot diverge from it after a deletion.
+        engine.pool.sync_query_bounds(engine.query)
         return ModificationReport(
             kind="delete",
             edge=canonical_edge(u, v),
@@ -98,8 +101,10 @@ def modify_bounds(
     new = engine.query.set_bounds(u, v, lower, upper)
 
     if pooled:
-        # Unprocessed: just refresh the pooled copy; CAP untouched.
-        engine.pool.replace(new)
+        # Unprocessed: CAP untouched; the pool re-reads every pooled
+        # edge's bounds from the query (single source of truth) rather
+        # than patching just the modified copy.
+        engine.pool.sync_query_bounds(engine.query)
         return ModificationReport(
             kind="pooled-update",
             edge=key,

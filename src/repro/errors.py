@@ -23,6 +23,8 @@ __all__ = [
     "QueryFileError",
     "IndexError_",
     "IndexNotBuiltError",
+    "StaleIndexError",
+    "GraphMutationError",
     "CAPError",
     "CAPStateError",
     "SessionError",
@@ -101,6 +103,19 @@ class GraphIOError(GraphError):
     """Raised when a graph cannot be parsed from or serialized to a file."""
 
 
+class GraphMutationError(GraphError, ValueError):
+    """Raised when an edge update cannot be applied to the data graph.
+
+    Covers self loops, inserting an edge that already exists, and
+    deleting an edge that does not — the same simplicity invariants
+    :class:`~repro.graph.builder.GraphBuilder` enforces at build time,
+    re-checked by :mod:`repro.updates` before any in-place mutation, so
+    a refused update leaves the graph (and its epoch) untouched.
+    """
+
+    code = "graph_mutation_invalid"
+
+
 # --------------------------------------------------------------------------
 # BPH query model
 # --------------------------------------------------------------------------
@@ -161,6 +176,34 @@ class IndexError_(ReproError):
 
 class IndexNotBuiltError(IndexError_):
     """Raised when an index is queried before :meth:`build` completed."""
+
+
+class StaleIndexError(IndexError_):
+    """Raised when an index (or stored basis) describes an older graph epoch.
+
+    The graph moved — :mod:`repro.updates` bumped
+    :attr:`~repro.graph.graph.Graph.epoch` — and a derived structure
+    (PML labels, a saved :class:`~repro.storage.basis.EngineBasis`) was
+    not maintained to match.  Serving from it would silently return
+    pre-mutation distances, so every epoch-checked read path raises this
+    instead.  ``expected`` is the graph's current epoch, ``actual`` the
+    epoch the stale structure was built at.
+    """
+
+    code = "stale_index"
+
+    def __init__(
+        self,
+        what: str,
+        expected: int | None = None,
+        actual: int | None = None,
+    ) -> None:
+        detail = ""
+        if expected is not None and actual is not None:
+            detail = f" (graph epoch {expected}, index epoch {actual})"
+        super().__init__(f"{what} is stale{detail}; rebuild or apply updates")
+        self.expected = expected
+        self.actual = actual
 
 
 class CAPError(ReproError):

@@ -36,8 +36,14 @@ class Graph:
     objects (the paper uses character codes for WordNet and synthetic
     integers for DBLP/Flickr).
 
-    The class is immutable: all mutation happens in
-    :class:`~repro.graph.builder.GraphBuilder` before :meth:`~repro.graph.builder.GraphBuilder.build`.
+    The class is immutable through its public API: all construction-time
+    mutation happens in :class:`~repro.graph.builder.GraphBuilder` before
+    :meth:`~repro.graph.builder.GraphBuilder.build`.  Post-build edge
+    updates exist, but only through :mod:`repro.updates`, which swaps the
+    CSR arrays in place and bumps :attr:`epoch` — the monotonic version
+    counter every derived structure (PML labels, distance caches, stored
+    bases) validates against before serving an answer.  boomerlint rule
+    R8 flags any other module touching the CSR internals.
     """
 
     __slots__ = (
@@ -46,6 +52,7 @@ class Graph:
         "_labels",
         "_label_index",
         "_num_edges",
+        "_epoch",
         "name",
     )
 
@@ -55,11 +62,13 @@ class Graph:
         neighbors: np.ndarray,
         labels: Sequence[Label],
         name: str = "graph",
+        epoch: int = 0,
     ) -> None:
         self._offsets = offsets
         self._neighbors = neighbors
         self._labels = list(labels)
         self._num_edges = int(len(neighbors) // 2)
+        self._epoch = int(epoch)
         self.name = name
 
         # Inverted index label -> sorted numpy array of vertex ids.  This is
@@ -71,6 +80,20 @@ class Graph:
         self._label_index: dict[Label, np.ndarray] = {
             lab: np.asarray(vs, dtype=np.int32) for lab, vs in buckets.items()
         }
+
+    # -- versioning ---------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; bumped by :mod:`repro.updates`.
+
+        Every structure derived from the CSR (PML labels, memoized BFS
+        vectors, stored bases) records the epoch it was computed at and
+        checks it before answering — a mismatch means the graph moved
+        underneath it.  ``getattr`` default covers graphs unpickled from
+        disk caches written before the counter existed (epoch 0 by
+        definition: nothing can have mutated them).
+        """
+        return getattr(self, "_epoch", 0)
 
     # -- size ---------------------------------------------------------------
     @property

@@ -102,7 +102,14 @@ class InterfaceSession:
         self.boomer.apply(ModifyBounds(u, v, lower, upper))
 
     def delete_edge(self, u: int, v: int) -> None:
-        """Modification: remove an edge from the Query Panel."""
+        """Modification: remove an edge from the Query Panel.
+
+        Routes through the engine's action dispatch into
+        :func:`repro.core.modification.delete_edge`, which removes the
+        query edge and re-syncs the deferred-edge pool from the query in
+        one step — the GUI never touches pool or CAP state directly, so
+        query-side and engine-side edge state cannot diverge.
+        """
         self.user_time_seconds += (
             self.latency.constants.t_move + self.latency.constants.t_bounds
         )

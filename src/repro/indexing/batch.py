@@ -16,10 +16,13 @@ pairs.  This module is the batch side of the oracle contract:
   preserved.
 * :class:`DistanceVectorCache` — a process-wide bounded LRU of full
   distance vectors, shared across service sessions that query the same
-  oracle.  Entries are keyed by ``(id(oracle), source)`` and carry a
-  strong reference to the oracle that is identity-checked on every hit,
-  so a recycled ``id()`` can never serve another oracle's distances.
-  Hits/misses are exported through :mod:`repro.obs.metrics`
+  oracle.  Entries are keyed by ``(id(oracle), epoch, source)`` — the
+  epoch is the oracle's (ultimately the graph's) mutation counter, so a
+  vector computed before an edge update can never be served after it —
+  and carry a weak reference to the oracle that is identity-checked on
+  every hit, so a recycled ``id()`` can never serve another oracle's
+  distances and a dead oracle is not pinned in memory by its own cache
+  entries.  Hits/misses are exported through :mod:`repro.obs.metrics`
   (``repro_distcache_hits_total`` / ``repro_distcache_misses_total``).
 
 Batch answers are bit-identical to the scalar path by construction: the
@@ -30,6 +33,7 @@ consumer that batches preserves its scalar iteration order.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections.abc import Sequence
 
 import numpy as np
@@ -182,6 +186,20 @@ def scalar_within_many(
 # ----------------------------------------------------------------------
 # Shared full-vector cache
 # ----------------------------------------------------------------------
+def _oracle_epoch(oracle: object) -> int:
+    """The mutation counter a cached vector must match to be served.
+
+    Prefers the oracle's own ``epoch`` (PML tracks the epoch its labels
+    were maintained to; BFS mirrors its graph's), falling back to the
+    graph's counter, then to 0 for epoch-unaware test doubles — which
+    thereby keep the pre-epoch behavior of identity-only keys.
+    """
+    epoch = getattr(oracle, "epoch", None)
+    if epoch is None:
+        epoch = getattr(getattr(oracle, "graph", None), "epoch", 0)
+    return int(epoch)
+
+
 class DistanceVectorCache:
     """Bounded LRU of full single-source distance vectors.
 
@@ -191,10 +209,17 @@ class DistanceVectorCache:
     same vectors.  Thread-safe; eviction is least-recently-*used* (hits
     refresh recency, unlike a FIFO).
 
-    Keys are ``(id(oracle), source)``.  Because ``id()`` values can be
-    recycled after an oracle is garbage collected, each entry stores a
-    strong reference to its oracle and a hit requires ``entry.oracle is
-    oracle`` — a stale entry for a dead oracle is evicted on sight.
+    Keys are ``(id(oracle), epoch, source)``.  The epoch dimension makes
+    graph mutation a cache flush for free: after :mod:`repro.updates`
+    bumps the counter, every pre-mutation vector sits under a key no
+    lookup will ever form again (and ages out of the LRU).  Because
+    ``id()`` values can be recycled after an oracle is garbage
+    collected, each entry also stores a *weak* reference to its oracle
+    and a hit requires ``entry.ref() is oracle`` — a stale entry for a
+    dead oracle is evicted on sight instead of pinning the oracle (and
+    its graph) in memory, which the old strong-reference design did.
+    Oracles that don't support weak references are held strongly as a
+    fallback (plain test doubles; every real oracle here is weakrefable).
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -202,23 +227,32 @@ class DistanceVectorCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._lock = threading.Lock()
-        #: (id(oracle), source) -> (oracle, vector); dict order is LRU order.
-        self._entries: dict[tuple[int, int], tuple[object, np.ndarray]] = {}
+        #: (id(oracle), epoch, source) -> (ref-or-oracle, vector);
+        #: dict order is LRU order.
+        self._entries: dict[
+            tuple[int, int, int], tuple[object, np.ndarray]
+        ] = {}
         self.hits = 0
         self.misses = 0
 
+    @staticmethod
+    def _deref(holder: object) -> object:
+        """The held oracle (None once a weakly-held one is collected)."""
+        return holder() if isinstance(holder, weakref.ref) else holder
+
     def lookup(self, oracle: object, source: int) -> np.ndarray | None:
         """The cached full vector for ``(oracle, source)``, or None."""
-        key = (id(oracle), int(source))
+        key = (id(oracle), _oracle_epoch(oracle), int(source))
         with self._lock:
             entry = self._entries.pop(key, None)
-            if entry is not None and entry[0] is oracle:
+            if entry is not None and self._deref(entry[0]) is oracle:
                 self._entries[key] = entry  # re-insert: most recently used
                 self.hits += 1
                 hit = True
             else:
-                # entry[0] is a different object: id() was recycled; the
-                # popped stale entry stays evicted.
+                # The holder dereferences to a different object (or to
+                # None): id() was recycled after the original oracle
+                # died; the popped stale entry stays evicted.
                 self.misses += 1
                 hit = False
         self._record(hit)
@@ -226,16 +260,42 @@ class DistanceVectorCache:
 
     def store(self, oracle: object, source: int, vector: np.ndarray) -> None:
         """Insert (or refresh) the full vector for ``(oracle, source)``."""
-        key = (id(oracle), int(source))
+        key = (id(oracle), _oracle_epoch(oracle), int(source))
+        try:
+            holder: object = weakref.ref(oracle)
+        except TypeError:  # slotted without __weakref__, or builtins
+            holder = oracle
         with self._lock:
             self._entries.pop(key, None)
             while len(self._entries) >= self.max_entries:
                 self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = (oracle, vector)
+            self._entries[key] = (holder, vector)
             size = len(self._entries)
         metrics.gauge(
             "repro_distcache_entries", "distance vectors currently cached"
         ).set(size)
+
+    def invalidate(self, oracle: object) -> int:
+        """Proactively drop every entry held for ``oracle`` (any epoch).
+
+        The epoch key already makes stale vectors unreachable; this
+        frees their memory immediately instead of waiting for LRU churn.
+        :mod:`repro.updates` calls it after every mutation.  Returns the
+        number of entries dropped.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if key[0] == id(oracle) and self._deref(entry[0]) is oracle
+            ]
+            for key in doomed:
+                del self._entries[key]
+            size = len(self._entries)
+        metrics.gauge(
+            "repro_distcache_entries", "distance vectors currently cached"
+        ).set(size)
+        return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (tests / memory pressure)."""

@@ -99,11 +99,19 @@ class BFSOracle:
     Safe to share across threads: the memo cache and query counter are
     guarded by a lock (the BFS itself runs outside the lock so concurrent
     misses on *different* sources still parallelize).
+
+    Graph mutation safe: every memoized vector records the graph epoch it
+    was computed at (see :attr:`repro.graph.graph.Graph.epoch`); a hit
+    whose stored epoch trails the graph's is treated as a miss and
+    recomputed.  BFS has no build step, so unlike PML the oracle
+    self-heals instead of raising
+    :class:`~repro.errors.StaleIndexError`.
     """
 
     def __init__(self, graph: Graph, cache_size: int = 1024) -> None:
         self._graph = graph
-        self._cache: dict[int, np.ndarray] = {}
+        #: source -> (graph epoch at compute time, distance vector).
+        self._cache: dict[int, tuple[int, np.ndarray]] = {}
         self._cache_size = cache_size
         self._lock = threading.Lock()
         self.query_count = 0
@@ -113,23 +121,46 @@ class BFSOracle:
         """The underlying data graph."""
         return self._graph
 
+    @property
+    def epoch(self) -> int:
+        """The graph epoch this oracle currently answers for.
+
+        BFS recomputes on demand, so the oracle is never behind its
+        graph — the shared distance-vector cache keys on this to drop
+        pre-mutation vectors.
+        """
+        return self._graph.epoch
+
+    def _cached_fresh(self, source: int) -> bool:
+        """Caller holds the lock: is there a current-epoch vector for source?"""
+        entry = self._cache.get(source)
+        return entry is not None and entry[0] == self._graph.epoch
+
     def _vector(self, source: int) -> np.ndarray:
+        epoch = self._graph.epoch
+        vec = None
         with self._lock:
-            vec = self._cache.pop(source, None)
-            if vec is not None:
+            entry = self._cache.pop(source, None)
+            if entry is not None and entry[0] == epoch:
                 # Re-insert at the end: a hit must refresh recency, or the
                 # "LRU" degenerates to FIFO and hot sources get evicted.
-                self._cache[source] = vec
+                self._cache[source] = entry
+                vec = entry[1]
+            # An epoch-mismatched entry stays popped: the graph moved and
+            # the vector describes distances that no longer exist.
         if vec is None:
             vec = bfs_distances(self._graph, source)
             with self._lock:
-                if source not in self._cache:
-                    if len(self._cache) >= self._cache_size:
+                current = self._cache.get(source)
+                if current is None or current[0] != epoch:
+                    if source not in self._cache and (
+                        len(self._cache) >= self._cache_size
+                    ):
                         # Evict the least recently used (front of the dict).
                         self._cache.pop(next(iter(self._cache)))
-                    self._cache[source] = vec
+                    self._cache[source] = (epoch, vec)
                 else:  # another thread raced us; keep its identical vector
-                    vec = self._cache[source]
+                    vec = current[1]
         return vec
 
     def distance(self, u: int, v: int) -> int:
@@ -140,9 +171,13 @@ class BFSOracle:
         self._graph._check_vertex(v)
         with self._lock:
             self.query_count += 1
-            # Run BFS from whichever endpoint is already cached, else from u.
+            # Run BFS from whichever endpoint already has a fresh vector,
+            # else from u.  Stale entries do not count as cached — picking
+            # one would just recompute from the other endpoint anyway.
             source, target = (
-                (v, u) if v in self._cache and u not in self._cache else (u, v)
+                (v, u)
+                if self._cached_fresh(v) and not self._cached_fresh(u)
+                else (u, v)
             )
         if u == v:
             return 0

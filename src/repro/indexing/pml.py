@@ -37,11 +37,12 @@ the tight Python merge, which beats numpy on the typically short labels.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 
 import numpy as np
 
-from repro.errors import IndexNotBuiltError, VertexNotFoundError
+from repro.errors import IndexNotBuiltError, StaleIndexError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.indexing.order import degree_order
 
@@ -68,8 +69,16 @@ class PrunedLandmarkLabeling:
 
     #: Full distance vectors from this oracle are pure functions of the
     #: frozen index — safe to keep in the process-wide
-    #: :data:`repro.indexing.batch.shared_distance_cache`.
+    #: :data:`repro.indexing.batch.shared_distance_cache` (whose keys
+    #: carry :attr:`epoch`, so vectors from a superseded index are
+    #: unreachable the moment the graph moves).
     cacheable_vectors = True
+
+    #: Whether :meth:`apply_edge_insert` can patch this index in place.
+    #: True for indexes holding mutable Python label lists; the storage
+    #: layer's :class:`~repro.storage.basis.StoredPML` (read-only views
+    #: over mmap/shm arrays) overrides it to False and must be rebuilt.
+    supports_incremental = True
 
     def __init__(
         self,
@@ -82,6 +91,7 @@ class PrunedLandmarkLabeling:
         self._label_ranks = label_ranks
         self._label_dists = label_dists
         self._order = order
+        self._epoch = graph.epoch
         self.query_count = 0  # instrumentation for t_avg / experiments
         self._finalize_labels()
 
@@ -204,8 +214,33 @@ class PrunedLandmarkLabeling:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Graph epoch the labels currently describe.
+
+        ``getattr`` default covers indexes unpickled from disk caches
+        written before epochs existed — those graphs were frozen at
+        epoch 0, so 0 is exact, not a guess.
+        """
+        return getattr(self, "_epoch", 0)
+
+    def _check_fresh(self) -> None:
+        """Refuse to answer from labels the graph has moved past.
+
+        A PML label set is a pure function of the CSR it was built (or
+        incrementally maintained) over; once :mod:`repro.updates` bumps
+        the graph epoch without maintaining this index, every answer it
+        could give is suspect — raising beats silently serving
+        pre-mutation distances.
+        """
+        expected = self._graph.epoch
+        actual = self.epoch
+        if actual != expected:
+            raise StaleIndexError("PML index", expected=expected, actual=actual)
+
     def distance(self, u: int, v: int) -> int:
         """Exact ``dist(u, v)``; ``-1`` when ``u`` and ``v`` are disconnected."""
+        self._check_fresh()
         self._graph._check_vertex(u)
         self._graph._check_vertex(v)
         self.query_count += 1
@@ -253,6 +288,7 @@ class PrunedLandmarkLabeling:
         that many queries).  Validation matches the scalar path: the
         source, then each target in order, first offender raises.
         """
+        self._check_fresh()
         if not getattr(self, "_finalized", False):
             # Indexes unpickled from a pre-flag disk cache skip __init__
             # and carry no arrays; freeze the CSR on first batch query.
@@ -326,6 +362,117 @@ class PrunedLandmarkLabeling:
             ok = (dists >= 0) & (dists <= upper)
             pairs.extend((u, int(v)) for v in t[ok])
         return pairs
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (driven by repro.updates)
+    # ------------------------------------------------------------------
+    def apply_edge_insert(self, u: int, v: int) -> tuple[int, int]:
+        """Patch the labels for an already-applied edge insert ``{u, v}``.
+
+        The dynamic-PLL insertion rule (Akiba, Iwata & Yoshida, WWW'14):
+        the new edge can only *shorten* distances, and any newly optimal
+        path root→…→u→v→… must pass through the edge, so for every label
+        entry ``(r, d)`` of ``u`` it suffices to resume the pruned BFS of
+        landmark ``order[r]`` from ``v`` at distance ``d + 1`` (and
+        symmetrically from ``u``).  Resumed visits use the same
+        query-based prune as the static build, so the patched label set
+        stays a valid 2-hop cover — possibly a superset of what a fresh
+        build would store, but answer-identical (the conformance suite
+        asserts exactly that).
+
+        Must be called *after* :mod:`repro.updates` mutated the graph;
+        returns ``(entries_added, entries_updated)`` and syncs
+        :attr:`epoch` to the graph's.
+        """
+        if not self.supports_incremental:
+            raise StaleIndexError(
+                f"{type(self).__name__} holds read-only label arrays and "
+                "cannot be patched in place"
+            )
+        self._graph._check_vertex(u)
+        self._graph._check_vertex(v)
+        # Snapshot both endpoints' labels first: the first pass may add
+        # entries to u or v, and resuming from those would double-walk.
+        seeds = [
+            (v, list(zip(self._label_ranks[u], self._label_dists[u]))),
+            (u, list(zip(self._label_ranks[v], self._label_dists[v]))),
+        ]
+        added = updated = 0
+        for start, entries in seeds:
+            for rank, dist in entries:
+                a, b = self._resume_pruned_bfs(int(rank), start, int(dist) + 1)
+                added += a
+                updated += b
+        if added or updated:
+            self._refinalize()
+        self._epoch = self._graph.epoch
+        return added, updated
+
+    def _resume_pruned_bfs(self, rank: int, start: int, dist: int) -> tuple[int, int]:
+        """Resume landmark ``order[rank]``'s pruned BFS from one vertex."""
+        root = int(self._order[rank])
+        offsets, neighbors = self._graph.raw_csr()
+        added = updated = 0
+        best_seen = {start: dist}
+        frontier = deque([(start, dist)])
+        while frontier:
+            w, dw = frontier.popleft()
+            # Prune exactly like the static build: if the current labels
+            # already certify dist(root, w) <= dw, neither w's label nor
+            # anything beyond it can improve.  (root's own label holds
+            # (rank, 0), so an existing entry (rank, d<=dw) at w prunes.)
+            cur = self._merge(root, w) if w != root else 0
+            if 0 <= cur <= dw:
+                continue
+            ranks_w = self._label_ranks[w]
+            dists_w = self._label_dists[w]
+            pos = bisect_left(ranks_w, rank)
+            if pos < len(ranks_w) and ranks_w[pos] == rank:
+                dists_w[pos] = dw  # shorter path via the new edge
+                updated += 1
+            else:
+                ranks_w.insert(pos, rank)
+                dists_w.insert(pos, dw)
+                added += 1
+            for idx in range(int(offsets[w]), int(offsets[w + 1])):
+                x = int(neighbors[idx])
+                dx = dw + 1
+                if best_seen.get(x, dx + 1) > dx:
+                    best_seen[x] = dx
+                    frontier.append((x, dx))
+        return added, updated
+
+    def rebuild_inplace(self) -> None:
+        """Conservative fallback: rebuild the labels over the current CSR.
+
+        Edge deletes can *lengthen* distances, which would require
+        retracting label entries whose shortest paths died — identifying
+        those precisely costs about as much as rebuilding the affected
+        landmarks, so the fallback rebuilds outright (fresh degree
+        order, exactly what a cold build would produce) while keeping
+        this object's identity: every context, session, and cache key
+        holding the oracle sees the repaired index without re-plumbing.
+        """
+        fresh = PrunedLandmarkLabeling.build(self._graph)
+        self._label_ranks = fresh._label_ranks
+        self._label_dists = fresh._label_dists
+        self._order = fresh._order
+        self._label_offsets = fresh._label_offsets
+        self._label_ranks_arr = fresh._label_ranks_arr
+        self._label_dists_arr = fresh._label_dists_arr
+        self._avg_label = fresh._avg_label
+        self._finalized = True
+        if hasattr(self, "_rank_of"):
+            del self._rank_of  # landmark order may have changed
+        self._epoch = self._graph.epoch
+
+    def _refinalize(self) -> None:
+        """Re-freeze the CSR arrays after the label lists changed."""
+        self._finalized = False
+        for attr in ("_label_offsets", "_label_ranks_arr", "_label_dists_arr"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+        self._finalize_labels()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 
-__all__ = ["two_hop_counts", "two_hop_neighbors"]
+__all__ = ["two_hop_counts", "two_hop_neighbors", "patch_two_hop_counts"]
 
 
 def two_hop_counts(graph: Graph) -> np.ndarray:
@@ -53,3 +53,21 @@ def two_hop_neighbors(graph: Graph, v: int) -> set[int]:
             reach.add(int(neighbors[j]))
     reach.discard(v)
     return reach
+
+
+def patch_two_hop_counts(
+    graph: Graph, counts: np.ndarray, affected: set[int]
+) -> int:
+    """Recompute ``counts`` in place for the vertices an edge update touched.
+
+    Inserting or deleting edge ``{u, v}`` can only change ``TwoHop(w)``
+    for ``w ∈ {u, v} ∪ N(u) ∪ N(v)`` (with the neighborhoods read on the
+    side of the update where the edge exists — after an insert, before a
+    delete): any other vertex's 2-hop set never walked through the edge.
+    :mod:`repro.updates` computes that affected set and passes it here;
+    mutating the shared array in place keeps every context holding it
+    current.  Returns the number of vertices recomputed.
+    """
+    for w in affected:
+        counts[w] = len(two_hop_neighbors(graph, int(w)))
+    return len(affected)

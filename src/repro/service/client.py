@@ -285,6 +285,18 @@ class ServiceClient:
             return self.request("metrics")
         return self.request("metrics", format=format)
 
+    def update(self, kind: str, u: int, v: int) -> dict[str, Any]:
+        """Apply one data-graph edge update (``kind`` is insert/delete).
+
+        Returns the server's :class:`~repro.updates.UpdateReport` payload
+        (new epoch, maintenance strategy, label/cache churn).  In-flight
+        requests finish on the old epoch; requests issued after this call
+        returns see the new one.  A busy server may shed the update with
+        the retryable ``overloaded`` verdict; behind a worker pool the
+        verb is refused outright (``worker_pool``).
+        """
+        return self.request("update", kind=kind, edge=[int(u), int(v)])
+
     def close_session(self, session: str) -> dict[str, Any]:
         return self.request("close_session", session=session)
 

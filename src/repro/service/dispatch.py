@@ -75,6 +75,25 @@ class LocalDispatcher:
                 return session.stats()
         if op == "shutdown":
             return {"stopping": True}
+        if op == "update":
+            kind = request.get("kind")
+            if kind not in ("insert", "delete"):
+                raise ProtocolError(
+                    f"update 'kind' must be 'insert' or 'delete', got {kind!r}"
+                )
+            # The endpoints ride in an "edge" pair — a bare "v" key would
+            # collide with the envelope's protocol-version field.
+            edge = request.get("edge")
+            if (
+                not isinstance(edge, (list, tuple))
+                or len(edge) != 2
+                or any(isinstance(e, bool) or not isinstance(e, int) for e in edge)
+            ):
+                raise ProtocolError(
+                    "update requires 'edge': a pair of integer vertex ids"
+                )
+            report = manager.apply_update(kind, edge[0], edge[1])
+            return report.as_dict()
 
         # Everything else addresses one session.
         session_id = request.get("session")

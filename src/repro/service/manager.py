@@ -47,6 +47,7 @@ from repro.core.context import EngineContext
 from repro.errors import (
     AdmissionError,
     CheckpointError,
+    GraphMutationError,
     SessionEvictedError,
     SessionNotFoundError,
 )
@@ -60,6 +61,7 @@ from repro.service.checkpoint import (
 from repro.service.overload import OverloadPolicy
 from repro.service.scheduler import IdleScheduler
 from repro.service.session import ManagedSession, SessionLimits
+from repro.updates import UpdateReport, delete_edge, insert_edge
 
 __all__ = ["SessionManager", "ManagerStats"]
 
@@ -85,6 +87,7 @@ class ManagerStats:
     runs_completed: int = 0
     runs_degraded: int = 0
     runs_failed: int = 0
+    updates_applied: int = 0
     eviction_log: list[str] = field(default_factory=list)
 
     def snapshot(self) -> dict[str, object]:
@@ -99,6 +102,7 @@ class ManagerStats:
             "runs_completed": self.runs_completed,
             "runs_degraded": self.runs_degraded,
             "runs_failed": self.runs_failed,
+            "updates_applied": self.updates_applied,
             "recent_evictions": list(self.eviction_log[-16:]),
         }
 
@@ -416,6 +420,47 @@ class SessionManager:
             self._enforce_cap_budget(active=session_id)
             return result
 
+    def apply_update(
+        self, kind: str, u: int, v: int, timeout: float | None = 30.0
+    ) -> UpdateReport:
+        """Apply one data-graph edge update under a quiet window.
+
+        Graph mutation is the one operation that touches the *shared*
+        basis every session reads, so it runs alone: this request counts
+        itself in flight (shedding applies while draining, like any
+        mutating verb), then waits on the idle condition until it is the
+        only in-flight request.  In-flight runs therefore finish on the
+        old epoch; requests arriving during the mutation queue behind
+        the manager lock and see the new one.  If the service does not
+        go quiet within ``timeout`` seconds the update is refused with
+        the retryable overload verdict — a busy service sheds updates
+        rather than stalling them indefinitely.
+
+        The mutation itself is :mod:`repro.updates` orchestration —
+        epoch bump, incremental PML patch (insert) or conservative
+        rebuild (delete), two-hop repair, distance-cache invalidation —
+        so a refusal (:class:`~repro.errors.GraphMutationError`,
+        :class:`~repro.errors.StaleIndexError` for stored bases) leaves
+        graph and indexes exactly as they were.
+        """
+        apply_one = {"insert": insert_edge, "delete": delete_edge}.get(kind)
+        if apply_one is None:
+            raise GraphMutationError(f"unknown update kind {kind!r}")
+        with self._track_request():
+            with self._idle_cv:
+                quiet = self._idle_cv.wait_for(
+                    lambda: self._inflight == 1, timeout=timeout
+                )
+                if not quiet:
+                    self._shed(
+                        "update",
+                        f"{self._inflight - 1} requests still in flight "
+                        f"after waiting {timeout}s for a quiet window",
+                    )
+                report = apply_one(self.base_ctx, int(u), int(v))
+                self.stats_counters.updates_applied += 1
+            return report
+
     def results(self, session_id: str, limit: int | None = None):
         """Validated result subgraphs of a completed session."""
         with self._track_request(mutating=False):
@@ -721,6 +766,7 @@ class SessionManager:
                 "name": self.base_ctx.graph.name,
                 "num_vertices": self.base_ctx.graph.num_vertices,
                 "num_edges": self.base_ctx.graph.num_edges,
+                "epoch": self.base_ctx.graph.epoch,
             },
             "scheduler": self.scheduler.stats(),
             **self.stats_counters.snapshot(),

@@ -380,6 +380,17 @@ class PoolDispatcher:
             return self._call(self._worker_for(str(session_id)), request)
         if op == "shutdown":
             return {"stopping": True}
+        if op == "update":
+            # Workers attach the basis arrays read-only (shm segments or
+            # mmap pages shared across processes) — an in-place edge
+            # update cannot reach the whole fleet coherently.  Refuse
+            # with the typed pool verdict; graph updates require the
+            # in-process backend (--workers 0) or a basis rebuild.
+            raise WorkerPoolError(
+                "graph updates are not supported behind a worker pool: "
+                "the shared basis is immutable across workers; run with "
+                "--workers 0 or rebuild the basis"
+            )
         if op == "create_session":
             target = self._pick_worker()
             result = self._call(target, request)

@@ -51,6 +51,7 @@ from repro.errors import (
     CheckpointError,
     DeadlineExceededError,
     DegradedModeError,
+    GraphMutationError,
     ProtocolError,
     RelayedError,
     ReproError,
@@ -59,6 +60,7 @@ from repro.errors import (
     SessionError,
     SessionEvictedError,
     SessionNotFoundError,
+    StaleIndexError,
     WorkerDiedError,
     WorkerPoolError,
 )
@@ -105,6 +107,7 @@ OPS = (
     "stats",
     "trace",
     "metrics",
+    "update",
     "close_session",
     "shutdown",
 )
@@ -136,6 +139,8 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
     (DegradedModeError, "degraded_mode"),
     (CAPCorruptionError, "cap_corrupted"),
     (RetryExhaustedError, "retry_exhausted"),
+    (GraphMutationError, "graph_mutation_invalid"),
+    (StaleIndexError, "stale_index"),
     (ActionError, "bad_action"),
     (SessionError, "session_state"),
     (ReproError, "engine_error"),

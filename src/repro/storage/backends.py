@@ -28,7 +28,7 @@ import tempfile
 from pathlib import Path
 
 from repro.core.context import EngineContext
-from repro.errors import BasisFormatError, StorageError
+from repro.errors import BasisFormatError, StaleIndexError, StorageError
 from repro.storage.basis import EngineBasis, basis_from_context, context_from_basis
 from repro.storage.mmapstore import MmapSpec, load_basis, read_meta, save_basis
 from repro.storage.shm import (
@@ -211,12 +211,31 @@ class MmapBackend(StorageBackend):
 
 
 def _holds_basis_for(directory: str | Path, basis: EngineBasis | None) -> bool:
-    """True when ``directory`` holds a valid saved basis (for this graph)."""
+    """True when ``directory`` holds a valid saved basis (for this graph).
+
+    A directory holding the right graph at the *wrong epoch* is stale —
+    its label arrays describe a graph that has since mutated — and is
+    refused outright with :class:`~repro.errors.StaleIndexError` rather
+    than silently reused (reuse would resurrect pre-mutation distances)
+    or silently rewritten (the caller's basis may be memmapped from the
+    very files a rewrite would truncate).
+    """
     try:
         meta = read_meta(directory)
     except BasisFormatError:
         return False
-    return basis is None or meta.get("graph_name") == basis.graph_name
+    if basis is None:
+        return True
+    if meta.get("graph_name") != basis.graph_name:
+        return False
+    stored = int(meta.get("epoch", 0))
+    if stored != basis.epoch:
+        raise StaleIndexError(
+            f"saved engine basis in {directory}",
+            expected=basis.epoch,
+            actual=stored,
+        )
+    return True
 
 
 def open_backend(

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.core.context import EngineContext
 from repro.core.cost import CostModel
-from repro.errors import StorageError
+from repro.errors import StaleIndexError, StorageError
 from repro.graph.graph import Graph
 from repro.indexing.pml import PrunedLandmarkLabeling
 
@@ -79,6 +79,12 @@ class EngineBasis:
     avg_label: float = 0.0
     scan_override: str | None = None
     batch_enabled: bool = True
+    #: Graph epoch the arrays were extracted at (see
+    #: :attr:`repro.graph.graph.Graph.epoch`).  Persisted by every
+    #: backend; a live graph that has moved past a saved basis makes
+    #: that directory *stale*, and reopening it is refused (see
+    #: :func:`repro.storage.backends.open_backend`).
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         missing = [name for name in ARRAY_NAMES if name not in self.arrays]
@@ -144,6 +150,13 @@ class StoredPML(PrunedLandmarkLabeling):
     reads the stored offsets instead of walking materialized lists.
     """
 
+    #: Stored label columns are read-only views (mmap pages, shm
+    #: segments) — :meth:`~repro.indexing.pml.PrunedLandmarkLabeling.apply_edge_insert`
+    #: cannot splice them, so :mod:`repro.updates` refuses this index
+    #: with a typed :class:`~repro.errors.StaleIndexError` *before*
+    #: mutating the graph (fallback policy: rebuild the basis).
+    supports_incremental = False
+
     @classmethod
     def from_arrays(
         cls,
@@ -170,6 +183,7 @@ class StoredPML(PrunedLandmarkLabeling):
         pml._label_dists_arr = label_dists_arr
         pml._avg_label = avg_label
         pml._finalized = True  # arrays arrived frozen; never re-finalize
+        pml._epoch = graph.epoch  # the basis restored graph + labels together
         pml._label_ranks = label_view(label_offsets, label_ranks_arr)
         pml._label_dists = label_view(label_offsets, label_dists_arr)
         return pml
@@ -196,6 +210,12 @@ def basis_from_context(ctx: EngineContext) -> EngineBasis:
             f"an engine basis requires a PML oracle; got "
             f"{type(oracle).__name__}"
         )
+    if oracle.epoch != ctx.graph.epoch:
+        # Persisting labels the graph has moved past would freeze wrong
+        # distances into a directory that outlives this process.
+        raise StaleIndexError(
+            "PML index", expected=ctx.graph.epoch, actual=oracle.epoch
+        )
     oracle._finalize_labels()
     offsets, neighbors = ctx.graph.raw_csr()
     arrays = {
@@ -221,6 +241,7 @@ def basis_from_context(ctx: EngineContext) -> EngineBasis:
         avg_label=float(oracle._avg_label),
         scan_override=ctx.scan_override,
         batch_enabled=ctx.batch_enabled,
+        epoch=ctx.graph.epoch,
     )
 
 
@@ -240,6 +261,7 @@ def context_from_basis(
         neighbors=arrays["graph_neighbors"],
         labels=list(basis.labels),
         name=basis.graph_name,
+        epoch=basis.epoch,
     )
     pml = StoredPML.from_arrays(
         graph,

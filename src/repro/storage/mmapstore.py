@@ -101,6 +101,7 @@ def save_basis(basis: EngineBasis, directory: str | Path) -> Path:
         "avg_label": basis.avg_label,
         "scan_override": basis.scan_override,
         "batch_enabled": basis.batch_enabled,
+        "epoch": basis.epoch,
         "finalized": True,
         "arrays": dtypes,
         "nbytes": basis.nbytes(),
@@ -174,6 +175,7 @@ def load_basis(directory: str | Path) -> EngineBasis:
         avg_label=float(meta["avg_label"]),
         scan_override=scan,
         batch_enabled=bool(meta.get("batch_enabled", True)),
+        epoch=int(meta.get("epoch", 0)),
     )
 
 

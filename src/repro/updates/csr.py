@@ -1,0 +1,84 @@
+"""In-place CSR edge surgery — the only writer of ``Graph`` internals.
+
+The graph keeps its sorted-adjacency CSR invariants across updates:
+``offsets`` stays a prefix-sum, each vertex's neighbor slice stays
+sorted and duplicate-free, and every undirected edge appears in both
+endpoints' slices.  Both operations validate *before* touching anything,
+so a refused update leaves the graph (and its epoch) exactly as it was.
+
+Vertex labels never change here — edge updates cannot alter the label
+inverted index, which is why these functions can swap the arrays without
+rebuilding anything else on the graph object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphMutationError
+from repro.graph.graph import Graph
+
+__all__ = ["graph_insert_edge", "graph_delete_edge"]
+
+
+def _edge_positions(graph: Graph, u: int, v: int) -> tuple[int, bool]:
+    """``(flat position of v in u's slice, whether it is present)``."""
+    offsets, neighbors = graph.raw_csr()
+    start, end = int(offsets[u]), int(offsets[u + 1])
+    pos = start + int(np.searchsorted(neighbors[start:end], v))
+    present = pos < end and int(neighbors[pos]) == v
+    return pos, present
+
+
+def _validate(graph: Graph, u: int, v: int) -> None:
+    graph._check_vertex(u)
+    graph._check_vertex(v)
+    if u == v:
+        raise GraphMutationError(
+            f"self loop ({u}, {v}) refused: the graph is simple"
+        )
+
+
+def graph_insert_edge(graph: Graph, u: int, v: int) -> int:
+    """Splice undirected edge ``{u, v}`` into the CSR; returns the new epoch.
+
+    O(|E|) array rebuilds (two ``np.insert`` positions) — cheap next to
+    the index maintenance that follows, and the arrays stay contiguous
+    for the BFS/PML kernels.
+    """
+    _validate(graph, u, v)
+    u, v = int(u), int(v)
+    pos_u, present = _edge_positions(graph, u, v)
+    if present:
+        raise GraphMutationError(f"edge ({u}, {v}) already exists")
+    pos_v, _ = _edge_positions(graph, v, u)
+    offsets, neighbors = graph.raw_csr()
+    new_neighbors = np.insert(neighbors, [pos_u, pos_v], [v, u])
+    new_offsets = offsets.copy()
+    new_offsets[u + 1 :] += 1
+    new_offsets[v + 1 :] += 1
+    graph._offsets = new_offsets
+    graph._neighbors = new_neighbors
+    graph._num_edges += 1
+    graph._epoch = graph.epoch + 1
+    return graph.epoch
+
+
+def graph_delete_edge(graph: Graph, u: int, v: int) -> int:
+    """Remove undirected edge ``{u, v}`` from the CSR; returns the new epoch."""
+    _validate(graph, u, v)
+    u, v = int(u), int(v)
+    pos_u, present = _edge_positions(graph, u, v)
+    if not present:
+        raise GraphMutationError(f"edge ({u}, {v}) is not in the graph")
+    pos_v, _ = _edge_positions(graph, v, u)
+    offsets, neighbors = graph.raw_csr()
+    new_neighbors = np.delete(neighbors, [pos_u, pos_v])
+    new_offsets = offsets.copy()
+    new_offsets[u + 1 :] -= 1
+    new_offsets[v + 1 :] -= 1
+    graph._offsets = new_offsets
+    graph._neighbors = new_neighbors
+    graph._num_edges -= 1
+    graph._epoch = graph.epoch + 1
+    return graph.epoch

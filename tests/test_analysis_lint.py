@@ -22,8 +22,8 @@ from repro.errors import LintUsageError
 
 
 class TestRegistry:
-    def test_seven_rules_registered(self):
-        assert rule_ids() == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+    def test_rule_catalog_registered(self):
+        assert rule_ids() == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
 
     def test_get_rules_subset_and_order(self):
         rules = get_rules(["R5", "R1"])

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for the boomerlint catalog (R1–R7).
+"""Per-rule fixture tests for the boomerlint catalog (R1–R8).
 
 Each rule gets at least one *bad* fixture that must fire and one *good*
 fixture that must stay silent.  Path-scoped rules (R1, R2, R6) are
@@ -430,3 +430,64 @@ class TestFixedViolationsStayFixed:
             path = Path(importlib.import_module(module).__file__)
             report = LintEngine.for_rule_ids(["R2"]).lint_paths([path])
             assert report.ok, [v.format() for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# R8 — graph mutation seam
+# ----------------------------------------------------------------------
+class TestGraphMutationSeamRule:
+    def test_epoch_write_flagged(self):
+        hits = rule_hits("R8", "def f(graph):\n    graph._epoch = 0\n")
+        assert len(hits) == 1
+        assert hits[0].rule == "R8"
+        assert "repro.updates" in hits[0].message
+
+    def test_csr_writes_flagged(self):
+        src = """\
+        def splice(g, arr):
+            g._neighbors = arr
+            g._offsets = arr
+            g._num_edges += 1
+        """
+        assert len(rule_hits("R8", src)) == 3
+
+    def test_label_index_write_flagged(self):
+        assert rule_hits("R8", "def f(g):\n    g._label_index = {}\n")
+
+    def test_annotated_assign_flagged(self):
+        # AnnAssign is a distinct AST node; the rule must catch it too.
+        assert rule_hits("R8", "def f(g):\n    g._epoch: int = 3\n")
+
+    def test_updates_and_graph_packages_exempt(self):
+        src = "def f(g):\n    g._epoch = 1\n    g._num_edges += 1\n"
+        assert not rule_hits("R8", src, "repro/updates/csr.py")
+        assert not rule_hits("R8", src, "repro/graph/graph.py")
+        assert not rule_hits("R8", src, "repro/storage/basis.py")
+
+    def test_self_writes_clean(self):
+        # A class managing its *own* slots (Graph itself, LazyLabelView's
+        # _offsets) is construction, not cross-object mutation.
+        src = """\
+        class View:
+            def __init__(self, offsets):
+                self._offsets = offsets
+        """
+        assert not rule_hits("R8", src, "repro/core/somewhere.py")
+
+    def test_reads_and_other_attrs_clean(self):
+        src = """\
+        def peek(g):
+            e = g._epoch
+            g.cursor = e
+            return g.epoch
+        """
+        assert not rule_hits("R8", src)
+
+    def test_tree_is_currently_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).parent
+        report = LintEngine.for_rule_ids(["R8"]).lint_paths([root])
+        assert report.ok, [v.format() for v in report.violations]

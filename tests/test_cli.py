@@ -297,3 +297,13 @@ class TestReplayCommand:
         )
         assert code == EXIT_DEGRADED
         assert "DEGRADED" in capsys.readouterr().err
+
+
+class TestUpdateCheck:
+    def test_seeded_sweep_passes(self, capsys):
+        code = main(
+            ["update-check", "--rounds", "1", "--n", "24", "--steps", "5",
+             "--seed", "3"]
+        )
+        assert code == EXIT_OK
+        assert "update-check PASS" in capsys.readouterr().out

@@ -245,8 +245,9 @@ class TestDistanceVectorCache:
         cache = DistanceVectorCache(max_entries=4)
         o1 = object()
         cache.store(o1, 0, np.arange(3))
-        # Simulate id() reuse: same key, different live object.
-        key = (id(o1), 0)
+        # Simulate id() reuse: same key, different live object.  Keys are
+        # (id(oracle), epoch, source); epoch-less test doubles key at 0.
+        key = (id(o1), 0, 0)
         cache._entries[key] = (object(), np.arange(3))
         assert cache.lookup(o1, 0) is None  # identity mismatch -> miss
         assert len(cache) == 0  # stale entry evicted on sight

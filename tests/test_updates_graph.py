@@ -1,0 +1,174 @@
+"""CSR edge-surgery tests: repro.updates.csr invariants and epoch bumps.
+
+These cover the graph-level half of the update subsystem in isolation:
+the spliced arrays must be indistinguishable from a fresh build of the
+mutated edge set, refused updates must leave the graph (and its epoch)
+byte-identical, and the epoch must move exactly once per applied update.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphMutationError, VertexNotFoundError
+from repro.graph.builder import GraphBuilder
+from repro.updates import graph_delete_edge, graph_insert_edge
+from tests.conftest import build_fig2_graph
+from tests.test_property_graph import labeled_graphs
+
+
+def csr_snapshot(graph):
+    offsets, neighbors = graph.raw_csr()
+    return offsets.copy(), neighbors.copy(), graph.num_edges, graph.epoch
+
+
+def assert_csr_unchanged(graph, snapshot):
+    offsets, neighbors, num_edges, epoch = snapshot
+    got_offsets, got_neighbors = graph.raw_csr()
+    assert np.array_equal(got_offsets, offsets)
+    assert np.array_equal(got_neighbors, neighbors)
+    assert graph.num_edges == num_edges
+    assert graph.epoch == epoch
+
+
+def rebuild_from_edges(graph):
+    """A fresh GraphBuilder build of graph's current labels + edge set."""
+    builder = GraphBuilder("rebuilt")
+    builder.add_vertices(graph.labels())
+    for u, v in graph.iter_edges():
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def assert_same_structure(got, want):
+    got_offsets, got_neighbors = got.raw_csr()
+    want_offsets, want_neighbors = want.raw_csr()
+    assert np.array_equal(got_offsets, want_offsets)
+    assert np.array_equal(got_neighbors, want_neighbors)
+    assert got.num_edges == want.num_edges
+
+
+class TestInsert:
+    def test_insert_adds_edge_both_directions(self):
+        graph = build_fig2_graph()
+        assert not graph.has_edge(0, 11)
+        new_epoch = graph_insert_edge(graph, 0, 11)
+        assert new_epoch == graph.epoch == 1
+        assert graph.has_edge(0, 11) and graph.has_edge(11, 0)
+        assert 11 in {int(w) for w in graph.neighbors(0)}
+        assert 0 in {int(w) for w in graph.neighbors(11)}
+
+    def test_insert_matches_fresh_build(self):
+        graph = build_fig2_graph()
+        before_edges = graph.num_edges
+        graph_insert_edge(graph, 1, 10)
+        assert graph.num_edges == before_edges + 1
+        assert_same_structure(graph, rebuild_from_edges(graph))
+
+    def test_adjacency_stays_sorted(self):
+        graph = build_fig2_graph()
+        graph_insert_edge(graph, 0, 3)
+        graph_insert_edge(graph, 0, 10)
+        for v in graph.iter_vertices():
+            nbrs = graph.neighbors(v)
+            assert np.array_equal(nbrs, np.sort(nbrs))
+
+    def test_duplicate_insert_refused_untouched(self):
+        graph = build_fig2_graph()
+        snapshot = csr_snapshot(graph)
+        with pytest.raises(GraphMutationError, match="already exists"):
+            graph_insert_edge(graph, 1, 4)
+        assert_csr_unchanged(graph, snapshot)
+
+    def test_self_loop_refused_untouched(self):
+        graph = build_fig2_graph()
+        snapshot = csr_snapshot(graph)
+        with pytest.raises(GraphMutationError, match="self loop"):
+            graph_insert_edge(graph, 3, 3)
+        assert_csr_unchanged(graph, snapshot)
+
+    def test_unknown_vertex_refused_untouched(self):
+        graph = build_fig2_graph()
+        snapshot = csr_snapshot(graph)
+        with pytest.raises(VertexNotFoundError):
+            graph_insert_edge(graph, 0, graph.num_vertices)
+        assert_csr_unchanged(graph, snapshot)
+
+
+class TestDelete:
+    def test_delete_removes_edge_both_directions(self):
+        graph = build_fig2_graph()
+        assert graph.has_edge(1, 4)
+        new_epoch = graph_delete_edge(graph, 4, 1)  # order-insensitive
+        assert new_epoch == graph.epoch == 1
+        assert not graph.has_edge(1, 4) and not graph.has_edge(4, 1)
+        assert_same_structure(graph, rebuild_from_edges(graph))
+
+    def test_missing_edge_refused_untouched(self):
+        graph = build_fig2_graph()
+        snapshot = csr_snapshot(graph)
+        with pytest.raises(GraphMutationError, match="not in the graph"):
+            graph_delete_edge(graph, 0, 1)
+        assert_csr_unchanged(graph, snapshot)
+
+    def test_insert_then_delete_round_trips(self):
+        graph = build_fig2_graph()
+        offsets, neighbors = graph.raw_csr()
+        offsets, neighbors = offsets.copy(), neighbors.copy()
+        graph_insert_edge(graph, 2, 10)
+        graph_delete_edge(graph, 10, 2)
+        got_offsets, got_neighbors = graph.raw_csr()
+        assert np.array_equal(got_offsets, offsets)
+        assert np.array_equal(got_neighbors, neighbors)
+        # ... but the epoch never rewinds: the round trip was two moves.
+        assert graph.epoch == 2
+
+
+class TestEpoch:
+    def test_new_graph_starts_at_zero(self):
+        assert build_fig2_graph().epoch == 0
+
+    def test_epoch_is_monotonic_per_update(self):
+        graph = build_fig2_graph()
+        epochs = [graph.epoch]
+        graph_insert_edge(graph, 0, 1)
+        epochs.append(graph.epoch)
+        graph_delete_edge(graph, 0, 1)
+        epochs.append(graph.epoch)
+        assert epochs == [0, 1, 2]
+
+    def test_pre_epoch_pickle_defaults_to_zero(self):
+        # Old serialized graphs have no _epoch slot; the property must
+        # answer 0 instead of raising AttributeError.
+        graph = build_fig2_graph()
+        object.__delattr__(graph, "_epoch")
+        assert graph.epoch == 0
+
+
+@given(labeled_graphs(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_random_surgery_matches_fresh_build(graph, data):
+    """Any applicable insert/delete leaves a graph equal to a fresh build."""
+    n = graph.num_vertices
+    edges = set(graph.iter_edges())
+    non_edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if (u, v) not in edges
+    ]
+    before_epoch = graph.epoch
+    if non_edges and (not edges or data.draw(st.booleans())):
+        u, v = data.draw(st.sampled_from(non_edges))
+        graph_insert_edge(graph, u, v)
+        edges.add((u, v))
+    elif edges:
+        u, v = data.draw(st.sampled_from(sorted(edges)))
+        graph_delete_edge(graph, u, v)
+        edges.discard((u, v))
+    else:
+        return  # single vertex, nothing applicable
+    assert graph.epoch == before_epoch + 1
+    assert set(graph.iter_edges()) == edges
+    assert_same_structure(graph, rebuild_from_edges(graph))
+    assert int(graph.degree_array().sum()) == 2 * graph.num_edges
