@@ -9,8 +9,14 @@ on are *enforced on every commit*, not sampled by tests:
   rules encode this repo's contracts: seeded-RNG determinism (R1), the
   typed error taxonomy (R2), the batch oracle contract (R3), the
   metrics/span naming taxonomy (R4), public-API coherence (R5), and
-  service lock discipline (R6).  Run it as ``python -m repro lint
-  src/repro``; suppress a deliberate exception inline with
+  service lock discipline (R6).  On top of the per-file tier sits a
+  whole-program tier (:mod:`~repro.analysis.project`,
+  :mod:`~repro.analysis.dataflow`, :mod:`~repro.analysis.rules_flow`,
+  :mod:`~repro.analysis.rules_project`): cross-module protocol-drift
+  (R9), epoch-guard flow (R10), resource lifecycle (R11), and inferred
+  lock-guard (R12) rules, plus SARIF output, a ``--baseline`` ratchet,
+  and a content-hash incremental cache.  Run it as ``python -m repro
+  lint src/repro``; suppress a deliberate exception inline with
   ``# boomerlint: disable=R2``.
 * **lock-order race detection** (:mod:`~repro.analysis.lockorder`) — a
   lockdep-style monitor that instruments ``threading`` locks during the
@@ -21,6 +27,8 @@ See docs/ANALYSIS.md for the rule catalog, the suppression syntax, how
 to add a rule, and race-detector usage.
 """
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.cache import LintCache
 from repro.analysis.engine import LintEngine, LintReport, ModuleSource, module_key
 from repro.analysis.lockorder import (
     Inversion,
@@ -29,6 +37,7 @@ from repro.analysis.lockorder import (
     MonitoredRLock,
     patch_locks,
 )
+from repro.analysis.project import ModuleFacts, ProjectIndex, ProjectRule
 from repro.analysis.registry import (
     Rule,
     Violation,
@@ -37,6 +46,7 @@ from repro.analysis.registry import (
     register,
     rule_ids,
 )
+from repro.analysis.sarif import to_sarif
 
 __all__ = [
     # lint engine
@@ -50,6 +60,16 @@ __all__ = [
     "all_rules",
     "get_rules",
     "rule_ids",
+    # whole-program tier
+    "ModuleFacts",
+    "ProjectIndex",
+    "ProjectRule",
+    # operational modes
+    "LintCache",
+    "to_sarif",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
     # lock-order detector
     "LockOrderMonitor",
     "MonitoredLock",

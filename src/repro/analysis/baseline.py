@@ -1,0 +1,78 @@
+"""Baseline ratchet for boomerlint: adopt new rules without a flag day.
+
+A baseline file records the *accepted* violations of a tree as
+fingerprint counts.  With ``--baseline`` the engine subtracts up to the
+recorded count of each fingerprint from the report, so pre-existing debt
+is tolerated while anything new fails the gate — and because matching is
+by count, fixing a debt violation and introducing an identical one
+elsewhere in the same module is a wash, never a regression credit that
+grows.  Re-running with ``--update-baseline`` after paying debt shrinks
+the file: the ratchet only tightens.
+
+Fingerprints are ``rule::module-key::message`` — deliberately excluding
+line/column so ordinary edits above a tolerated violation don't spuriously
+"move" it out of the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.registry import Violation
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_FORMAT = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    """The stable identity of a violation for baseline matching."""
+    return f"{violation.rule}::{violation.path}::{violation.message}"
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Fingerprint counts from a baseline file written by us."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    counts = payload.get("violations", {})
+    return {str(key): int(value) for key, value in counts.items()}
+
+
+def write_baseline(path: Path, violations: list[Violation]) -> None:
+    """Record ``violations`` as the new accepted debt."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        key = fingerprint(violation)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "format": _FORMAT,
+        "tool": "boomerlint",
+        "violations": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: dict[str, int]
+) -> tuple[list[Violation], int]:
+    """Split ``violations`` into (new, tolerated-count).
+
+    Up to the baselined count of each fingerprint is tolerated; the
+    remainder — newly introduced debt — is returned for reporting.
+    """
+    budget = dict(baseline)
+    fresh: list[Violation] = []
+    tolerated = 0
+    for violation in violations:
+        key = fingerprint(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            tolerated += 1
+        else:
+            fresh.append(violation)
+    return fresh, tolerated

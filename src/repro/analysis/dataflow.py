@@ -1,0 +1,298 @@
+"""Intra-procedural dataflow for boomerlint: a CFG over ``ast`` + solver.
+
+The whole-program rules (R10 epoch-guard, R11 resource lifecycle) need
+more than a tree walk: *where* on a function's paths something happens —
+is every dereference dominated by the freshness check, does every exit
+path close the handle.  This module gives them exactly enough machinery:
+
+* :func:`build_cfg` — a conservative control-flow graph over one
+  function body.  Blocks hold **steps** (simple statements, plus the
+  header expressions of compound statements: an ``if``'s test, a
+  ``while``'s test, a ``for``'s iterable, a ``with``'s context
+  expressions), so a transfer function sees every expression in
+  execution order.
+* :func:`solve_forward` — a worklist solver for forward analyses over
+  that CFG; :func:`iter_step_states` replays the transfer function
+  inside each block so rules can read the state *at* a step.
+
+Deliberate simplifications (documented here because the rules inherit
+them):
+
+* **Explicit control flow only.**  ``raise`` ends a path without
+  reaching the exit block, and implicit exception edges (any expression
+  may throw) are not modeled — resource rules therefore special-case
+  ``finally`` blocks lexically instead.
+* **``finally`` runs on fall-through.**  A ``return`` inside ``try``
+  jumps straight to the exit block; the finalbody is on the normal
+  (fall-through) path only.  Rule R11 pre-exempts names closed in any
+  ``finally`` for exactly this reason.
+* **Nested scopes are opaque.**  A nested ``def``/``lambda`` is one
+  step; its body is never entered (it runs at some other time, under
+  some other state).
+
+The framework is purely static, like the rest of boomerlint: it reads
+``ast`` nodes and never executes anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = [
+    "Block",
+    "CFG",
+    "build_cfg",
+    "solve_forward",
+    "iter_step_states",
+    "scoped_walk",
+]
+
+S = TypeVar("S")
+
+#: Nested-scope nodes whose bodies an intra-procedural analysis must not
+#: descend into (they execute under a different frame, later or never).
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def scoped_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class scopes.
+
+    The root itself is yielded even when it is a scope node (callers
+    dispatch on it); only *nested* scopes below the root are opaque.
+    """
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _SCOPE_NODES):
+                yield child  # visible as a step, opaque inside
+                continue
+            stack.append(child)
+
+
+@dataclass
+class Block:
+    """One straight-line run of steps with its successor edges."""
+
+    id: int
+    steps: list[ast.AST] = field(default_factory=list)
+    succs: set[int] = field(default_factory=set)
+
+
+@dataclass
+class CFG:
+    """A function body as blocks; ``entry`` starts it, ``exit`` ends it.
+
+    The exit block is reached by falling off the end and by every
+    ``return``; a path that ``raise``s never reaches it (exceptional
+    exits are not modeled).
+    """
+
+    blocks: list[Block]
+    entry: int
+    exit: int
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.exit = self._new()
+
+    def _new(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def build(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        entry = self._new()
+        end = self._stmts(fn.body, entry, loop=None)
+        if end is not None:
+            end.succs.add(self.exit.id)
+        return CFG(blocks=self.blocks, entry=entry.id, exit=self.exit.id)
+
+    # -- statement lowering ---------------------------------------------
+    def _stmts(
+        self,
+        body: list[ast.stmt],
+        current: Block | None,
+        loop: tuple[Block, Block] | None,
+    ) -> Block | None:
+        """Lower ``body`` starting in ``current``; returns the fall-through
+        block, or None when every path terminated (return/raise/break)."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after a terminator; skip it entirely
+                # (analyzing dead statements would only produce noise).
+                return None
+            current = self._stmt(stmt, current, loop)
+        return current
+
+    def _stmt(
+        self,
+        stmt: ast.stmt,
+        current: Block,
+        loop: tuple[Block, Block] | None,
+    ) -> Block | None:
+        if isinstance(stmt, ast.Return):
+            current.steps.append(stmt)
+            current.succs.add(self.exit.id)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.steps.append(stmt)
+            return None  # exceptional exit: path ends, never reaches exit
+        if isinstance(stmt, ast.Break):
+            if loop is not None:
+                current.succs.add(loop[1].id)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loop is not None:
+                current.succs.add(loop[0].id)
+            return None
+        if isinstance(stmt, ast.If):
+            current.steps.append(stmt.test)
+            after = self._new()
+            then_entry = self._new()
+            current.succs.add(then_entry.id)
+            then_end = self._stmts(stmt.body, then_entry, loop)
+            if then_end is not None:
+                then_end.succs.add(after.id)
+            if stmt.orelse:
+                else_entry = self._new()
+                current.succs.add(else_entry.id)
+                else_end = self._stmts(stmt.orelse, else_entry, loop)
+                if else_end is not None:
+                    else_end.succs.add(after.id)
+            else:
+                current.succs.add(after.id)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._new()
+            after = self._new()
+            current.succs.add(header.id)
+            if isinstance(stmt, ast.While):
+                header.steps.append(stmt.test)
+            else:
+                header.steps.append(stmt.iter)
+            body_entry = self._new()
+            header.succs.add(body_entry.id)
+            header.succs.add(after.id)  # zero iterations / condition false
+            body_end = self._stmts(stmt.body, body_entry, (header, after))
+            if body_end is not None:
+                body_end.succs.add(header.id)
+            if stmt.orelse:
+                # The else of a loop runs on normal exhaustion; model it
+                # on the header->after edge by inlining before `after`.
+                else_entry = self._new()
+                header.succs.discard(after.id)
+                header.succs.add(else_entry.id)
+                else_end = self._stmts(stmt.orelse, else_entry, loop)
+                if else_end is not None:
+                    else_end.succs.add(after.id)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                current.steps.append(item.context_expr)
+            return self._stmts(stmt.body, current, loop)
+        if isinstance(stmt, ast.Try):
+            body_entry = self._new()
+            current.succs.add(body_entry.id)
+            join = self._new()
+            # Handlers hang off the try entry: an exception may fire
+            # before any body statement completed.
+            for handler in stmt.handlers:
+                handler_entry = self._new()
+                body_entry.succs.add(handler_entry.id)
+                handler_end = self._stmts(handler.body, handler_entry, loop)
+                if handler_end is not None:
+                    handler_end.succs.add(join.id)
+            body_end = self._stmts(stmt.body, body_entry, loop)
+            if stmt.orelse and body_end is not None:
+                body_end = self._stmts(stmt.orelse, body_end, loop)
+            if body_end is not None:
+                body_end.succs.add(join.id)
+            if stmt.finalbody:
+                final_entry = self._new()
+                # Re-point every edge into `join` through the finalbody.
+                join.succs.add(final_entry.id)
+                return self._stmts(stmt.finalbody, final_entry, loop)
+            return join
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            current.steps.append(stmt.subject)
+            after = self._new()
+            for case in stmt.cases:
+                case_entry = self._new()
+                current.succs.add(case_entry.id)
+                case_end = self._stmts(case.body, case_entry, loop)
+                if case_end is not None:
+                    case_end.succs.add(after.id)
+            current.succs.add(after.id)  # no case matched
+            return after
+        # Simple statement (including nested def/class, kept opaque).
+        current.steps.append(stmt)
+        return current
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The control-flow graph of one function definition."""
+    return _Builder().build(fn)
+
+
+def solve_forward(
+    cfg: CFG,
+    entry_state: S,
+    transfer: Callable[[S, ast.AST], S],
+    meet: Callable[[S, S], S],
+) -> dict[int, S]:
+    """Forward worklist solver; returns the in-state of each reached block.
+
+    ``transfer(state, step)`` folds one step; ``meet`` joins states where
+    paths converge.  Unreachable blocks are absent from the result (the
+    meet runs over *seen* paths only), which is the right default for
+    both must- and may-analyses over ``==``-comparable states.
+    """
+    in_states: dict[int, S] = {cfg.entry: entry_state}
+    worklist: list[int] = [cfg.entry]
+    while worklist:
+        block_id = worklist.pop()
+        block = cfg.block(block_id)
+        state = in_states[block_id]
+        for step in block.steps:
+            state = transfer(state, step)
+        for succ in block.succs:
+            if succ not in in_states:
+                in_states[succ] = state
+                worklist.append(succ)
+            else:
+                merged = meet(in_states[succ], state)
+                if merged != in_states[succ]:
+                    in_states[succ] = merged
+                    worklist.append(succ)
+    return in_states
+
+
+def iter_step_states(
+    cfg: CFG,
+    in_states: dict[int, S],
+    transfer: Callable[[S, ast.AST], S],
+) -> Iterator[tuple[ast.AST, S]]:
+    """Replay ``transfer`` through each reached block, yielding every
+    ``(step, state-before-step)`` pair — how rules inspect converged
+    solver results at statement granularity."""
+    for block in cfg.blocks:
+        if block.id not in in_states:
+            continue
+        state = in_states[block.id]
+        for step in block.steps:
+            yield step, state
+            state = transfer(state, step)

@@ -51,6 +51,17 @@ class Violation:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Violation":
+        """Inverse of :meth:`to_dict` (the incremental cache's restore)."""
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+        )
+
     @property
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -98,21 +109,28 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 
 def _ensure_loaded() -> None:
-    # The built-in rules live in their own module so the registry has no
-    # import cycle; importing it here makes `all_rules()` self-contained.
+    # The built-in rules live in their own modules so the registry has no
+    # import cycle; importing them here makes `all_rules()` self-contained.
     from repro.analysis import rules  # noqa: F401  (import registers)
+    from repro.analysis import rules_flow  # noqa: F401
+    from repro.analysis import rules_project  # noqa: F401
+
+
+def _id_order(rule_id: str) -> tuple[int, str]:
+    # Natural order: R9 before R10 (plain string sort would interleave).
+    return (len(rule_id), rule_id)
 
 
 def rule_ids() -> list[str]:
-    """Registered rule ids, sorted."""
+    """Registered rule ids, in natural (R1..R12) order."""
     _ensure_loaded()
-    return sorted(_REGISTRY)
+    return sorted(_REGISTRY, key=_id_order)
 
 
 def all_rules() -> list[Rule]:
     """One instance of every registered rule, id order."""
     _ensure_loaded()
-    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY, key=_id_order)]
 
 
 def get_rules(ids: Iterable[str]) -> list[Rule]:
@@ -122,8 +140,7 @@ def get_rules(ids: Iterable[str]) -> list[Rule]:
     for rule_id in ids:
         cls = _REGISTRY.get(rule_id)
         if cls is None:
-            raise LintUsageError(
-                f"unknown rule id {rule_id!r} (known: {', '.join(sorted(_REGISTRY))})"
-            )
+            known = ", ".join(sorted(_REGISTRY, key=_id_order))
+            raise LintUsageError(f"unknown rule id {rule_id!r} (known: {known})")
         out.append(cls())
     return out

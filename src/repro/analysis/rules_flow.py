@@ -1,0 +1,516 @@
+"""Dataflow-backed boomerlint rules: R10 epoch guards, R11 resource
+lifecycle, R12 lock-guard inference.
+
+These are per-module rules like R1–R8, but instead of pattern-matching
+single nodes they reason about *paths* (via :mod:`repro.analysis.dataflow`)
+or about a class's whole locking discipline:
+
+* **R10** — in an epoch-checked oracle class (one that defines
+  ``_check_fresh``), every public method that dereferences the PML label
+  arrays must be dominated by a ``self._check_fresh()`` call: a freshness
+  check on *some* paths is exactly the stale-read bug the epoch exists
+  to prevent.
+* **R11** — a resource acquired in the service/storage layer
+  (``SharedMemory``, ``np.memmap``, ``Popen``, sockets) and bound to a
+  local name must reach ``close``/``unlink``/``terminate`` on every
+  explicit path, be handed off (returned, stored, appended to a
+  registry), or be managed by ``with``/``finally``.
+* **R12** — the guard map is *inferred*: an attribute assigned inside
+  ``with self.<lock>:`` blocks is declared lock-guarded, and any bare
+  access to it elsewhere in the class is flagged.  The static companion
+  to the runtime lock-order monitor: the monitor catches wrong *order*,
+  this catches missing *acquisition*.
+
+Shared limitations (inherited from the CFG — see dataflow.py): explicit
+control flow only, ``finally`` handled lexically, nested ``def``/lambda
+bodies opaque.  Deliberate exceptions in the shipped tree carry inline
+``# boomerlint: disable=R<n>`` suppressions with a rationale, per
+docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.dataflow import build_cfg, iter_step_states, scoped_walk, solve_forward
+from repro.analysis.registry import Rule, Violation, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import ModuleSource
+
+__all__ = ["EpochGuardRule", "ResourceLifecycleRule", "LockGuardRule"]
+
+
+def _is_self_attr(node: ast.AST, attr: str | None = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _has_decorator(fn: ast.FunctionDef | ast.AsyncFunctionDef, *names: str) -> bool:
+    for decorator in fn.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id in names:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr in names:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# R10 — epoch-guard flow
+# ---------------------------------------------------------------------------
+@register
+class EpochGuardRule(Rule):
+    """Public reads of PML label arrays must be dominated by _check_fresh."""
+
+    id = "R10"
+    title = (
+        "epoch-guarded classes must call self._check_fresh() on every path "
+        "before dereferencing PML label arrays in public methods"
+    )
+
+    SCOPES = ("repro/indexing/", "repro/storage/")
+    LABEL_ATTRS = frozenset(
+        {
+            "_label_offsets",
+            "_label_ranks",
+            "_label_dists",
+            "_label_ranks_arr",
+            "_label_dists_arr",
+        }
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Violation]:
+        if not module.key.startswith(self.SCOPES):
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name: stmt
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "_check_fresh" not in methods:
+                continue  # not an epoch-checked class
+            for name, fn in methods.items():
+                if name.startswith("_"):
+                    # Private helpers are reached through checked entry
+                    # points; requiring a second check there would force
+                    # redundant epoch reads on the hot merge path.
+                    continue
+                if _has_decorator(fn, "staticmethod", "classmethod"):
+                    continue
+                yield from self._check_method(module, fn)
+
+    def _check_method(
+        self, module: "ModuleSource", fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        derefs = [
+            node
+            for node in scoped_walk(fn)
+            if node is not fn
+            and _is_self_attr(node)
+            and node.attr in self.LABEL_ATTRS  # type: ignore[attr-defined]
+            and isinstance(node.ctx, ast.Load)  # type: ignore[attr-defined]
+        ]
+        if not derefs:
+            return
+
+        def transfer(held: bool, step: ast.AST) -> bool:
+            if held:
+                return True
+            return any(
+                isinstance(node, ast.Call)
+                and _is_self_attr(node.func, "_check_fresh")
+                for node in scoped_walk(step)
+            )
+
+        cfg = build_cfg(fn)
+        in_states = solve_forward(
+            cfg, False, transfer, lambda a, b: a and b
+        )
+        for step, held in iter_step_states(cfg, in_states, transfer):
+            if held:
+                continue
+            step_nodes = set(map(id, scoped_walk(step)))
+            guarded_in_step = any(
+                isinstance(node, ast.Call)
+                and _is_self_attr(node.func, "_check_fresh")
+                for node in scoped_walk(step)
+            )
+            if guarded_in_step:
+                continue  # the check and the deref share one statement
+            for deref in derefs:
+                if id(deref) in step_nodes:
+                    yield self.violation(
+                        module,
+                        deref,
+                        f"'{fn.name}' dereferences label array "
+                        f"'{deref.attr}' on a path not dominated by "  # type: ignore[attr-defined]
+                        "self._check_fresh(); a stale index would serve "
+                        "pre-mutation distances",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R11 — resource lifecycle
+# ---------------------------------------------------------------------------
+@register
+class ResourceLifecycleRule(Rule):
+    """Locally-acquired OS resources must be closed on every explicit path."""
+
+    id = "R11"
+    title = (
+        "SharedMemory/memmap/Popen/socket handles acquired in the "
+        "service/storage layers must reach close()/unlink() on all paths "
+        "or be handed off / managed by with/finally"
+    )
+
+    SCOPES = ("repro/service/", "repro/storage/")
+    ACQUIRERS = frozenset(
+        {"SharedMemory", "memmap", "Popen", "create_connection", "socket"}
+    )
+    CLOSERS = frozenset({"close", "unlink", "terminate", "kill", "shutdown"})
+
+    def check(self, module: "ModuleSource") -> Iterator[Violation]:
+        if not module.key.startswith(self.SCOPES):
+            return
+        for fn in ast.walk(module.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, fn)
+
+    # -- per-function analysis ------------------------------------------
+    def _acquisitions(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, tuple[ast.Assign, str]]:
+        """``name -> (assign, acquirer)`` for simple-name acquisitions."""
+        out: dict[str, tuple[ast.Assign, str]] = {}
+        for node in scoped_walk(fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue  # attribute/tuple targets are ownership handoffs
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            func = value.func
+            called = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if called in self.ACQUIRERS:
+                out[target.id] = (node, called)
+        return out
+
+    def _escapes(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+    ) -> bool:
+        """True when ownership of ``name`` leaves this function."""
+        for node in scoped_walk(fn):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and self._mentions(value, name):
+                    return True
+            elif isinstance(node, ast.Call):
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    if self._mentions(arg, name):
+                        return True  # handed to another owner
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                if value is not None and not (
+                    isinstance(value, ast.Call)
+                ) and self._mentions(value, name):
+                    return True  # aliased or stored somewhere
+            elif isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+                if any(
+                    isinstance(child, ast.Name) and child.id == name
+                    for child in ast.iter_child_nodes(node)
+                ):
+                    return True
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Name)
+                        and item.context_expr.id == name
+                    ):
+                        return True  # context manager owns the close
+        return False
+
+    @staticmethod
+    def _mentions(node: ast.AST, name: str) -> bool:
+        return any(
+            isinstance(child, ast.Name) and child.id == name
+            for child in ast.walk(node)
+        )
+
+    def _finally_closed(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        """Names closed inside any ``finally`` block of this function.
+
+        The CFG routes ``return`` past finalbodies (see dataflow.py), so
+        finally-based cleanup is honored lexically instead: a name whose
+        close call lives in a finalbody is safe on every path by
+        construction of ``try/finally``.
+        """
+        closed: set[str] = set()
+        for node in scoped_walk(fn):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for final_stmt in node.finalbody:
+                for call in ast.walk(final_stmt):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in self.CLOSERS
+                        and isinstance(call.func.value, ast.Name)
+                    ):
+                        closed.add(call.func.value.id)
+        return closed
+
+    def _check_function(
+        self, module: "ModuleSource", fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        acquisitions = self._acquisitions(fn)
+        if not acquisitions:
+            return
+        exempt = self._finally_closed(fn)
+        tracked = {
+            name: info
+            for name, info in acquisitions.items()
+            if name not in exempt and not self._escapes(fn, name)
+        }
+        if not tracked:
+            return
+
+        def transfer(state: frozenset[str], step: ast.AST) -> frozenset[str]:
+            opened = set(state)
+            for node in scoped_walk(step):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and target.id in tracked:
+                        if node is tracked[target.id][0]:
+                            opened.add(target.id)
+                        else:
+                            opened.discard(target.id)  # rebound
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self.CLOSERS
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    opened.discard(node.func.value.id)
+            return frozenset(opened)
+
+        cfg = build_cfg(fn)
+        in_states = solve_forward(
+            cfg, frozenset(), transfer, lambda a, b: a | b
+        )
+        leaked = in_states.get(cfg.exit, frozenset())
+        for name in sorted(leaked):
+            assign, acquirer = tracked[name]
+            yield self.violation(
+                module,
+                assign,
+                f"'{name}' ({acquirer}) may never be closed on some path "
+                f"through '{fn.name}'; close it on every exit or manage it "
+                "with with/finally",
+            )
+
+
+# ---------------------------------------------------------------------------
+# R12 — lock-guard inference
+# ---------------------------------------------------------------------------
+@register
+class LockGuardRule(Rule):
+    """Attributes written under ``with self._lock:`` must never go bare."""
+
+    id = "R12"
+    title = (
+        "attributes assigned inside `with self.<lock>:` blocks in the "
+        "service layer are lock-guarded; accessing them without the lock "
+        "is a data race"
+    )
+
+    SCOPES = ("repro/service/",)
+    LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+    def check(self, module: "ModuleSource") -> Iterator[Violation]:
+        if not module.key.startswith(self.SCOPES):
+            return
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(module, cls)
+
+    # -- inference ------------------------------------------------------
+    def _lock_groups(self, cls: ast.ClassDef) -> dict[str, str]:
+        """``lock attr -> guard group``.  ``threading.Condition(self.X)``
+        joins X's group (waiting on the condition *is* holding the lock)."""
+        groups: dict[str, str] = {}
+        conditions: list[tuple[str, ast.Call]] = []
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not _is_self_attr(target) or not isinstance(node.value, ast.Call):
+                continue
+            func = node.value.func
+            called = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            attr = target.attr  # type: ignore[attr-defined]
+            if called in self.LOCK_FACTORIES:
+                groups[attr] = attr
+            elif called == "Condition":
+                conditions.append((attr, node.value))
+        for attr, call in conditions:
+            if call.args and _is_self_attr(call.args[0]):
+                aliased = call.args[0].attr  # type: ignore[attr-defined]
+                groups[attr] = groups.get(aliased, aliased)
+            else:
+                groups[attr] = attr  # owns its (implicit) lock
+        return groups
+
+    @staticmethod
+    def _written_attrs(stmt: ast.stmt) -> Iterator[str]:
+        """Self attributes a statement writes (assign/augassign/del)."""
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            base = target
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if _is_self_attr(base):
+                yield base.attr  # type: ignore[attr-defined]
+
+    def _with_lock_groups(
+        self, stmt: ast.With | ast.AsyncWith, groups: dict[str, str]
+    ) -> set[str]:
+        held: set[str] = set()
+        for item in stmt.items:
+            expr = item.context_expr
+            if _is_self_attr(expr) and expr.attr in groups:  # type: ignore[attr-defined]
+                held.add(groups[expr.attr])  # type: ignore[attr-defined]
+        return held
+
+    def _check_class(
+        self, module: "ModuleSource", cls: ast.ClassDef
+    ) -> Iterator[Violation]:
+        groups = self._lock_groups(cls)
+        if not groups:
+            return
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        # Pass 1: infer the guard map — attributes written under a lock.
+        guarded: dict[str, set[str]] = {}
+        for name, fn in methods.items():
+            if name == "__init__":
+                continue  # construction happens-before every reader
+            for node in scoped_walk(fn):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                held = self._with_lock_groups(node, groups)
+                if not held:
+                    continue
+                for stmt in node.body:
+                    for inner in scoped_walk(stmt):
+                        if isinstance(inner, ast.stmt):
+                            for attr in self._written_attrs(inner):
+                                if attr not in groups:
+                                    guarded.setdefault(attr, set()).update(held)
+        if not guarded:
+            return
+
+        # Pass 2: accesses annotated with the groups lexically held there,
+        # and self-call sites for the private-helper fixpoint.
+        accesses: dict[str, list[tuple[ast.Attribute, frozenset[str]]]] = {}
+        call_sites: dict[str, list[tuple[str, frozenset[str]]]] = {}
+
+        def scan(node: ast.AST, method: str, held: frozenset[str]) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = held | self._with_lock_groups(node, groups)
+                for item in node.items:
+                    scan(item.context_expr, method, held)
+                for stmt in node.body:
+                    scan(stmt, method, inner)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return  # nested scope: runs later, under unknown locks
+            if _is_self_attr(node) and node.attr in guarded:  # type: ignore[attr-defined]
+                accesses.setdefault(method, []).append((node, held))  # type: ignore[arg-type]
+            if (
+                isinstance(node, ast.Call)
+                and _is_self_attr(node.func)
+                and node.func.attr in methods  # type: ignore[attr-defined]
+            ):
+                call_sites.setdefault(node.func.attr, []).append(  # type: ignore[attr-defined]
+                    (method, held)
+                )
+            for child in ast.iter_child_nodes(node):
+                scan(child, method, held)
+
+        for name, fn in methods.items():
+            if name == "__init__":
+                continue
+            for stmt in fn.body:
+                scan(stmt, name, frozenset())
+
+        # Pass 3: fixpoint over private helpers whose every call site
+        # holds the lock ("caller holds the manager lock" helpers).
+        held_methods: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in methods:
+                if name in held_methods or not name.startswith("_"):
+                    continue
+                if name == "__init__":
+                    continue
+                sites = call_sites.get(name)
+                if not sites:
+                    continue
+                if all(held or caller in held_methods for caller, held in sites):
+                    held_methods.add(name)
+                    changed = True
+
+        # Pass 4: flag bare accesses.
+        for method, attr_accesses in sorted(accesses.items()):
+            if method in held_methods:
+                continue
+            for node, held in attr_accesses:
+                attr = node.attr
+                need = guarded[attr]
+                if held & need:
+                    continue
+                locks = " or ".join(
+                    f"self.{lock}"
+                    for lock in sorted(
+                        lock for lock, group in groups.items() if group in need
+                    )
+                )
+                yield self.violation(
+                    module,
+                    node,
+                    f"'{attr}' is written under {locks} elsewhere in "
+                    f"'{cls.name}' but accessed here without it "
+                    f"(in '{method}')",
+                )

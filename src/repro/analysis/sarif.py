@@ -1,0 +1,72 @@
+"""SARIF 2.1.0 output for boomerlint.
+
+SARIF is the interchange format CI code-scanning UIs ingest; emitting it
+lets the lint-invariants job upload one artifact that renders as inline
+annotations instead of a wall of text.  The mapping is deliberately
+minimal — one run, one ``tool.driver`` with the rule catalog, one
+``result`` per violation — because consumers only need ``ruleId``,
+``message`` and the physical location.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.registry import Rule, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import LintReport
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.title},
+    }
+
+
+def _result(violation: Violation) -> dict[str, Any]:
+    return {
+        "ruleId": violation.rule,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path},
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(report: "LintReport", rules: list[Rule]) -> dict[str, Any]:
+    """The SARIF 2.1.0 log dict for one lint run (JSON-dump ready)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "boomerlint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": [_rule_descriptor(rule) for rule in rules],
+                    }
+                },
+                "results": [_result(v) for v in report.violations],
+            }
+        ],
+    }

@@ -688,8 +688,17 @@ def _cmd_update_check(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
+    from pathlib import Path
 
-    from repro.analysis import LintEngine, rule_ids
+    from repro.analysis import (
+        LintEngine,
+        apply_baseline,
+        load_baseline,
+        rule_ids,
+        to_sarif,
+        write_baseline,
+    )
+    from repro.errors import LintUsageError
 
     if args.list_rules:
         for rule in LintEngine().rules:
@@ -700,20 +709,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         engine = LintEngine.for_rule_ids(wanted)
     else:
         engine = LintEngine()
-    report = engine.lint_paths(args.paths)
+    cache = engine.open_cache(Path(args.cache)) if args.cache else None
+    report = engine.lint_paths(args.paths, cache=cache)
+
+    if args.update_baseline:
+        write_baseline(Path(args.update_baseline), report.violations)
+        print(
+            f"baseline written: {len(report.violations)} violation(s) "
+            f"accepted in {args.update_baseline}",
+            file=sys.stderr,
+        )
+        return EXIT_OK
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            raise LintUsageError(
+                f"baseline file not found: {baseline_path} "
+                "(create one with --update-baseline)"
+            )
+        fresh, tolerated = apply_baseline(
+            report.violations, load_baseline(baseline_path)
+        )
+        report.violations = fresh
+        report.baselined = tolerated
+
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(report, engine.rules), indent=2))
     else:
         for violation in report.violations:
             print(violation.format())
+        extras = f" ({report.suppressed} suppressed)"
+        if report.baselined:
+            extras += f" ({report.baselined} baselined)"
         summary = (
             f"{len(report.violations)} violation(s) in "
-            f"{report.files_checked} file(s)"
-            f" ({report.suppressed} suppressed)"
+            f"{report.files_checked} file(s)" + extras
         )
         print(summary if report.violations or report.suppressed else
               f"clean: {report.files_checked} file(s), "
               f"rules {', '.join(rule_ids())}", file=sys.stderr)
+        if cache is not None:
+            print(
+                f"cache: {cache.hits} hit(s), {cache.misses} miss(es)",
+                file=sys.stderr,
+            )
     return EXIT_OK if report.ok else EXIT_ERROR
 
 
@@ -968,7 +1009,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text")
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="tolerate violations recorded in FILE; fail only on new ones",
+    )
+    lint.add_argument(
+        "--update-baseline", default=None, metavar="FILE",
+        help="record the current violations as the accepted baseline and exit",
+    )
+    lint.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="content-hash incremental cache (created if absent)",
+    )
     lint.set_defaults(func=_cmd_lint)
     return parser
 

@@ -62,10 +62,15 @@ class ReproError(Exception):
 
     Every class carries a stable machine-readable ``code`` (what the v2
     wire protocol and scripts switch on); subclasses override it, the
-    base matches the protocol's generic ``engine_error``.
+    base matches the protocol's generic ``engine_error``.  ``retryable``
+    is the class-level retry verdict mirrored by the wire protocol's
+    ``_RETRYABLE`` registry — boomerlint R9 cross-checks the two, so a
+    class flipping the flag without a registry update fails the lint
+    gate instead of silently changing client retry behavior.
     """
 
     code: str = "engine_error"
+    retryable: bool = False
 
 
 # --------------------------------------------------------------------------
@@ -329,6 +334,8 @@ class SessionEvictedError(ServiceError):
     should recreate the session and replay its formulation).
     """
 
+    retryable = True
+
     def __init__(self, session_id: str, reason: str = "memory pressure") -> None:
         super().__init__(f"session {session_id!r} was evicted ({reason})")
         self.session_id = session_id
@@ -343,6 +350,8 @@ class AdmissionError(ServiceError):
     and the budget is exhausted, creation is refused rather than letting
     one tenant push the process into swap.
     """
+
+    retryable = True
 
 
 class OverloadConfigError(ServiceError, ValueError):
@@ -444,6 +453,7 @@ class WorkerDiedError(WorkerPoolError):
     """
 
     code = "worker_died"
+    retryable = True
 
     def __init__(self, worker: int, detail: str = "") -> None:
         suffix = f": {detail}" if detail else ""

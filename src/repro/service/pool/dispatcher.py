@@ -248,7 +248,9 @@ class PoolDispatcher:
         for pending in doomed:
             pending.error = WorkerDiedError(handle.index)
             pending.event.set()
-        if handle.retiring or self._closing:
+        with self._lock:
+            closing = self._closing
+        if handle.retiring or closing:
             return
         self._deaths += 1
         metrics.counter(
@@ -444,13 +446,17 @@ class PoolDispatcher:
         for stats in per_worker.values():
             _sum_into(merged, stats)
         merged["draining"] = self._draining
+        with self._lock:
+            alive_count = sum(1 for h in self._handles if h.alive)
+            routed_sessions = len(self._route)
+            respawned = self._respawns
         merged["pool"] = {
             "storage": self.storage,
             "workers": self.workers,
-            "alive": sum(1 for h in self._handles if h.alive),
-            "routed_sessions": len(self._route),
+            "alive": alive_count,
+            "routed_sessions": routed_sessions,
             "worker_deaths": self._deaths,
-            "workers_respawned": self._respawns,
+            "workers_respawned": respawned,
             "sessions_requeued": self._requeued,
             "requeue_failures": self._requeue_failures,
             "checkpoint_dir": self.checkpoint_dir,

@@ -47,20 +47,29 @@ from repro.core.lowerbound import ResultSubgraph
 from repro.errors import (
     ActionError,
     AdmissionError,
+    AnalysisError,
+    BasisFormatError,
     CAPCorruptionError,
     CheckpointError,
     DeadlineExceededError,
     DegradedModeError,
     GraphMutationError,
+    LatencyConfigError,
+    LintUsageError,
+    LockOrderViolationError,
+    OverloadConfigError,
     ProtocolError,
+    QueryFileError,
     RelayedError,
     ReproError,
     RetryExhaustedError,
     ServiceOverloadedError,
+    ServiceTimeoutError,
     SessionError,
     SessionEvictedError,
     SessionNotFoundError,
     StaleIndexError,
+    StorageError,
     WorkerDiedError,
     WorkerPoolError,
 )
@@ -120,6 +129,7 @@ _RETRYABLE = (
     SessionEvictedError,
     AdmissionError,
     ServiceOverloadedError,
+    ServiceTimeoutError,
     WorkerDiedError,
 )
 
@@ -142,7 +152,16 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
     (GraphMutationError, "graph_mutation_invalid"),
     (StaleIndexError, "stale_index"),
     (ActionError, "bad_action"),
+    (LatencyConfigError, "latency_config_invalid"),
     (SessionError, "session_state"),
+    (QueryFileError, "query_file_invalid"),
+    (OverloadConfigError, "overload_config"),
+    (ServiceTimeoutError, "service_timeout"),
+    (BasisFormatError, "basis_format_invalid"),
+    (StorageError, "storage_error"),
+    (LintUsageError, "lint_usage_invalid"),
+    (LockOrderViolationError, "lock_order_inversion"),
+    (AnalysisError, "analysis_error"),
     (ReproError, "engine_error"),
 )
 

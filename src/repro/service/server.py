@@ -159,6 +159,7 @@ class QueryServer:
                         timeout=self.drain_timeout
                     )
                 self.backend.close()
+            summary = self._drain_summary if first else None
             with self._lifecycle:
                 if self._serving:
                     # Safe even if the accept loop is not in its while
@@ -171,7 +172,7 @@ class QueryServer:
         if thread is not None and thread is not threading.current_thread():
             thread.join(timeout=5.0)
             self._thread = None
-        return self._drain_summary if first else None
+        return summary
 
     @property
     def shutdown_requested(self) -> bool:

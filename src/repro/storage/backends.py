@@ -27,9 +27,16 @@ import shutil
 import tempfile
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.context import EngineContext
 from repro.errors import BasisFormatError, StaleIndexError, StorageError
-from repro.storage.basis import EngineBasis, basis_from_context, context_from_basis
+from repro.storage.basis import (
+    EngineBasis,
+    LabelViewFactory,
+    basis_from_context,
+    context_from_basis,
+)
 from repro.storage.mmapstore import MmapSpec, load_basis, read_meta, save_basis
 from repro.storage.shm import (
     SharedContextSpec,
@@ -73,7 +80,7 @@ class StorageBackend:
     def context(self) -> EngineContext:
         raise NotImplementedError
 
-    def spec(self):
+    def spec(self) -> SharedContextSpec | MmapSpec:
         raise StorageError(
             f"the {self.name} backend has no cross-process handle; "
             "use the shm or mmap backend for pool workers"
@@ -178,7 +185,7 @@ class MmapBackend(StorageBackend):
         save_basis(basis, directory)
         return cls(directory, budget_bytes=budget_bytes, owns_directory=owns)
 
-    def _label_view(self):
+    def _label_view(self) -> LabelViewFactory:
         if self.budget_bytes is None:
             from repro.storage.basis import LazyLabelView
 
@@ -187,7 +194,7 @@ class MmapBackend(StorageBackend):
         page_elems = self._page_elems
         counter = iter(range(1 << 30))
 
-        def make(offsets, column):
+        def make(offsets: np.ndarray, column: np.ndarray) -> TieredLabelView:
             key = f"{self.directory.name}:labels{next(counter)}"
             tiered = TieredColumn(column, cache, key, page_elems)
             return TieredLabelView(offsets, tiered, cache, key)
@@ -283,7 +290,7 @@ def open_backend(
     return ResidentBackend(basis)
 
 
-def attach(spec) -> tuple[EngineContext, list]:
+def attach(spec: SharedContextSpec | MmapSpec) -> tuple[EngineContext, list]:
     """Turn a backend spec back into a context, in any process.
 
     The single dispatch point pool workers call: a

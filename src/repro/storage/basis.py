@@ -29,7 +29,7 @@ regardless of which backend held the bytes in between
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -44,6 +44,7 @@ __all__ = [
     "EngineBasis",
     "StoredPML",
     "LazyLabelView",
+    "LabelViewFactory",
     "basis_from_context",
     "context_from_basis",
 ]
@@ -110,6 +111,13 @@ class EngineBasis:
         return replace(self, arrays=dict(arrays))
 
 
+#: A per-vertex label materializer: ``(offsets, column) -> view`` where
+#: the view answers ``view[v]`` with that vertex's label column as a
+#: list.  :class:`LazyLabelView` (the class itself) is the default;
+#: the mmap backend passes a byte-budgeted closure instead.
+LabelViewFactory = Callable[[np.ndarray, np.ndarray], Any]
+
+
 class LazyLabelView:
     """Sequence view of per-vertex label columns over a CSR column pair.
 
@@ -166,7 +174,7 @@ class StoredPML(PrunedLandmarkLabeling):
         label_dists_arr: np.ndarray,
         order: np.ndarray,
         avg_label: float,
-        label_view=LazyLabelView,
+        label_view: LabelViewFactory = LazyLabelView,
     ) -> "StoredPML":
         """Assemble an index over stored arrays, labels lazily viewed.
 
@@ -246,7 +254,7 @@ def basis_from_context(ctx: EngineContext) -> EngineBasis:
 
 
 def context_from_basis(
-    basis: EngineBasis, label_view=LazyLabelView
+    basis: EngineBasis, label_view: LabelViewFactory = LazyLabelView
 ) -> EngineContext:
     """Rebuild a full :class:`EngineContext` over a basis' buffers.
 

@@ -111,7 +111,7 @@ class HotPageCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: object):
+    def get(self, key: object) -> object | None:
         """The cached value, or None on miss.  Hits refresh recency."""
         with self._lock:
             entry = self._entries.pop(key, None)
